@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: the overlay-promotion policy (§4.3.4). When an overlay
+ * accumulates many lines, the OS can convert it back to a regular page
+ * (copy-and-commit). Sweeps the promotion threshold on a Type-2
+ * streaming workload (whose pages get ~62/64 lines dirtied) and a
+ * Type-3 sparse workload (~4 lines/page) to show the policy trade-off.
+ */
+
+#include <cstdio>
+
+#include "workload/forkbench.hh"
+
+using namespace ovl;
+
+namespace
+{
+
+void
+sweep(const char *bench_name)
+{
+    ForkBenchParams params = forkBenchByName(bench_name);
+    params.postForkInstructions = 2'000'000;
+    std::printf("%s (type %u, ~%u lines per dirtied page):\n",
+                bench_name, params.type, params.linesPerDirtyPage);
+    std::printf("  %12s %10s %14s\n", "threshold", "CPI",
+                "extra memory");
+    for (unsigned threshold : {8u, 16u, 32u, 48u, 64u}) {
+        SystemConfig cfg;
+        cfg.promoteThresholdLines = threshold;
+        ForkBenchResult res =
+            runForkBench(params, ForkMode::OverlayOnWrite, cfg);
+        std::printf("  %11u%s %10.3f %12.2fMB%s\n", threshold,
+                    threshold == 64 ? "*" : " ", res.cpi,
+                    res.additionalMemoryMB,
+                    threshold == 64 ? "  (disabled)" : "");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: overlay promotion threshold (§4.3.4's"
+                " copy-and-commit policy)\n");
+    std::printf("(* = promotion disabled, the evaluation default)\n\n");
+    sweep("lbm");
+    sweep("mcf");
+    std::printf("On dense overlays (lbm) promotion costs pure overhead:"
+                " each converted page\npays a 64-line copy-and-commit"
+                " while a 62-line overlay already occupies a\nfull 4 KB"
+                " segment, so no memory is recovered. On sparse overlays"
+                " (mcf, ~4\nlines) no overlay ever reaches the threshold,"
+                " so the policy is inert. The\nevaluation therefore runs"
+                " with promotion disabled; it exists for workloads\nthat"
+                " keep writing into fully-populated overlays (§4.3.4).\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: TLB coherence for the cache-line remap (§4.3.3). The paper's
+ * `overlaying read exclusive` message updates one OBitVector bit in every
+ * TLB through the coherence network; the naive alternative is a full TLB
+ * shootdown per overlaying write. Measures one overlaying write under
+ * both protocols as the TLB count scales.
+ */
+
+#include <cstdio>
+
+#include "system/system.hh"
+
+using namespace ovl;
+
+namespace
+{
+
+/** Latency of one overlaying write on a fresh two-process system. */
+Tick
+measureOverlayingWrite(const SystemConfig &cfg, bool use_shootdown)
+{
+    System sys(cfg);
+    Asid parent = sys.createProcess();
+    sys.mapAnon(parent, 0x100000, kPageSize);
+    Tick t = sys.access(parent, 0x100000, false, 0); // warm translation
+    sys.fork(parent, ForkMode::OverlayOnWrite, t, &t);
+    sys.access(parent, 0x100000, false, t); // re-warm after fork
+
+    AccessOutcome out;
+    Tick done = sys.access(parent, 0x100000, true, t + 100'000, &out);
+    Tick lat = done - (t + 100'000);
+    if (use_shootdown) {
+        // The naive protocol pays a full shootdown instead of the ORE.
+        lat += cfg.tlbShootdownCycles() - cfg.oreMessageCycles;
+    }
+    return lat;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: overlaying-read-exclusive vs TLB shootdown"
+                " (one overlaying write)\n\n");
+    std::printf("%6s %22s %22s %8s\n", "TLBs", "ORE message (paper)",
+                "shootdown per write", "ratio");
+    std::printf("%.*s\n", 62,
+                "------------------------------------------------------"
+                "--------");
+
+    for (unsigned tlbs : {1u, 2u, 4u, 8u, 16u}) {
+        SystemConfig cfg;
+        cfg.numTlbs = tlbs;
+        Tick ore = measureOverlayingWrite(cfg, false);
+        Tick shoot = measureOverlayingWrite(cfg, true);
+        std::printf("%6u %15llu cycles %15llu cycles %7.1fx\n", tlbs,
+                    (unsigned long long)ore, (unsigned long long)shoot,
+                    double(shoot) / double(ore));
+    }
+
+    std::printf("\nThe ORE cost is flat in the TLB count (one coherence"
+                " broadcast);\nshootdowns grow with every sharer"
+                " [6, 52, 54] — the reason the paper keeps\nTLBs"
+                " coherent through the cache-coherence network"
+                " (section 4.3.3).\n");
+    return 0;
+}

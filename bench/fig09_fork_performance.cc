@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 9: performance (cycles per instruction, lower is better) after
+ * a fork — copy-on-write vs overlay-on-write across the 15-benchmark
+ * suite. The paper measures a 15% average performance improvement.
+ */
+
+#include <cstdio>
+
+#include "system/config.hh"
+#include "workload/forkbench.hh"
+
+using namespace ovl;
+
+int
+main()
+{
+    std::printf("Figure 9: CPI after a fork (lower is better)\n\n");
+    std::printf("%-10s %-5s %14s %16s %9s\n", "benchmark", "type",
+                "copy-on-write", "overlay-on-write", "speedup");
+    std::printf("%.*s\n", 58,
+                "------------------------------------------------------"
+                "----");
+
+    double speedup_sum = 0;
+    unsigned count = 0, last_type = 0;
+    for (const ForkBenchParams &params : forkBenchSuite()) {
+        if (params.type != last_type) {
+            std::printf("-- Type %u --\n", params.type);
+            last_type = params.type;
+        }
+        ForkBenchResult cow =
+            runForkBench(params, ForkMode::CopyOnWrite, SystemConfig{});
+        ForkBenchResult oow =
+            runForkBench(params, ForkMode::OverlayOnWrite, SystemConfig{});
+        double speedup = cow.cpi / oow.cpi;
+        std::printf("%-10s %-5u %14.3f %16.3f %8.3fx\n",
+                    params.name.c_str(), params.type, cow.cpi, oow.cpi,
+                    speedup);
+        speedup_sum += speedup;
+        ++count;
+    }
+
+    std::printf("%.*s\n", 58,
+                "------------------------------------------------------"
+                "----");
+    std::printf("\nPaper: overlay-on-write improves performance by 15%% on"
+                " average;\n       cactus is the one benchmark where"
+                " copy-on-write wins (clustered writes).\n");
+    std::printf("Measured: %.1f%% mean speedup.\n",
+                100.0 * (speedup_sum / count - 1.0));
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * §5.2 in-text experiment: randomly-generated matrices with varying
+ * sparsity (fraction of zero cache lines, 0%..100%). The paper reports
+ * that the overlay representation outperforms the dense-matrix
+ * representation at every sparsity level, with the gap growing linearly
+ * in the fraction of zero lines.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "sparse/overlay_matrix.hh"
+#include "sparse/spmv.hh"
+#include "workload/matrixgen.hh"
+
+using namespace ovl;
+
+int
+main()
+{
+    std::printf("Random-sparsity sweep: overlay representation vs dense"
+                " representation (SpMV)\n\n");
+    std::printf("%12s %16s %16s %10s\n", "zero lines", "dense cycles",
+                "overlay cycles", "speedup");
+    std::printf("%.*s\n", 58,
+                "------------------------------------------------------"
+                "----");
+
+    constexpr std::uint32_t kRows = 512, kCols = 512;
+    for (int pct = 0; pct <= 100; pct += 10) {
+        CooMatrix coo =
+            generateUniformSparsity(kRows, kCols, pct / 100.0, 99 + pct);
+        std::vector<double> x(kCols);
+        Rng rng(5);
+        for (double &v : x)
+            v = rng.uniform();
+
+        SpmvAddrs addrs;
+
+        System dense_sys((SystemConfig()));
+        OooCore dense_core("core", dense_sys);
+        Asid dense_asid = dense_sys.createProcess();
+        installVectors(dense_sys, dense_asid, addrs, x, kRows);
+        installDense(dense_sys, dense_asid, addrs.aBase, coo);
+        dense_sys.quiesce();
+        SpmvResult dense = spmvDense(dense_sys, dense_core, dense_asid,
+                                     addrs, DenseLayout(kRows, kCols), x,
+                                     0);
+
+        System ovl_sys((SystemConfig()));
+        OooCore ovl_core("core", ovl_sys);
+        Asid ovl_asid = ovl_sys.createProcess();
+        installVectors(ovl_sys, ovl_asid, addrs, x, kRows);
+        OverlayMatrix matrix(ovl_sys, ovl_asid, addrs.aBase);
+        matrix.build(coo);
+        SpmvResult overlay =
+            spmvOverlay(ovl_sys, ovl_core, matrix, addrs, x, 0);
+
+        std::printf("%11d%% %16llu %16llu %9.2fx\n", pct,
+                    (unsigned long long)dense.cycles,
+                    (unsigned long long)overlay.cycles,
+                    double(dense.cycles) / double(overlay.cycles));
+    }
+
+    std::printf("\nPaper: overlays outperform the dense representation at"
+                " every sparsity level;\nthe gap grows with the fraction"
+                " of zero cache lines.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the overlay machinery's host-side
+ * costs: OBitVector operations, OMT-cache lookups, OMS segment
+ * allocation/release, TLB lookups, cache accesses, and the simulated
+ * end-to-end access paths. These measure the simulator, complementing the
+ * simulated-cycle numbers the figure benches report.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/bitvector64.hh"
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "dram/dram.hh"
+#include "overlay/oms_allocator.hh"
+#include "overlay/overlay_manager.hh"
+#include "system/system.hh"
+#include "tlb/tlb.hh"
+
+namespace
+{
+
+using namespace ovl;
+
+void
+BM_BitVectorIterate(benchmark::State &state)
+{
+    Rng rng(1);
+    BitVector64 bv(rng.next());
+    for (auto _ : state) {
+        unsigned sum = 0;
+        for (unsigned i = bv.findFirst(); i < 64; i = bv.findNext(i))
+            sum += i;
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_BitVectorIterate);
+
+void
+BM_OmtCacheLookup(benchmark::State &state)
+{
+    OmtCache cache("omtc", OmtCacheParams{});
+    Rng rng(2);
+    std::uint64_t working_set = std::uint64_t(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.lookupAllocate(rng.below(working_set)));
+    }
+}
+BENCHMARK(BM_OmtCacheLookup)->Arg(32)->Arg(64)->Arg(4096);
+
+void
+BM_OmsAllocateRelease(benchmark::State &state)
+{
+    Addr next = 0;
+    OmsAllocator alloc("oms", OmsAllocatorParams{},
+                       [&next] { return next += kPageSize; });
+    Rng rng(3);
+    for (auto _ : state) {
+        auto cls = SegClass(rng.below(kNumSegClasses));
+        Addr base = alloc.allocate(cls);
+        alloc.release(base, cls);
+        benchmark::DoNotOptimize(base);
+    }
+}
+BENCHMARK(BM_OmsAllocateRelease);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    TwoLevelTlb tlb("tlb", TlbHierarchyParams{});
+    Rng rng(4);
+    for (Addr vpn = 0; vpn < 64; ++vpn)
+        tlb.fill(1, vpn, TlbEntryData{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.access(1, rng.below(64)));
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_CacheHierarchyAccess(benchmark::State &state)
+{
+    DramController dram("dram", DramTimingParams{});
+    struct Backend : MemBackend
+    {
+        explicit Backend(DramController &d) : dram(d) {}
+        Tick readLine(Addr a, Tick t) override { return dram.read(a, t); }
+        Tick writebackLine(Addr a, Tick t) override
+        {
+            return dram.enqueueWrite(a, t);
+        }
+        DramController &dram;
+    } backend(dram);
+    CacheHierarchy hier("h", HierarchyParams{}, backend);
+    Rng rng(5);
+    Tick t = 0;
+    for (auto _ : state) {
+        t = hier.access(rng.below(1 << 16) << kLineShift, false, t);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void
+BM_OverlayingWrite(benchmark::State &state)
+{
+    // Cost of the full overlaying-write path, including system setup
+    // amortized over 64 lines per fresh page.
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    std::uint64_t pages = 4096;
+    sys.mapZeroOverlay(asid, 0x1000'0000, pages * kPageSize);
+    Tick t = 0;
+    Addr addr = 0x1000'0000;
+    for (auto _ : state) {
+        t = sys.access(asid, addr, true, t);
+        addr += kLineSize;
+        if (addr >= 0x1000'0000 + pages * kPageSize) {
+            state.PauseTiming();
+            sys.quiesce();
+            for (Addr va = 0x1000'0000;
+                 va < 0x1000'0000 + pages * kPageSize; va += kPageSize) {
+                sys.promoteOverlay(asid, va, PromoteAction::Discard, 0);
+            }
+            addr = 0x1000'0000;
+            t = 0;
+            state.ResumeTiming();
+        }
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_OverlayingWrite);
+
+void
+BM_SimulatedReadAccess(benchmark::State &state)
+{
+    System sys((SystemConfig()));
+    OooCore core("core", sys);
+    Asid asid = sys.createProcess();
+    sys.mapAnon(asid, 0x100000, 512 * kPageSize);
+    Rng rng(6);
+    core.beginEpoch(0);
+    for (auto _ : state) {
+        Addr addr = 0x100000 + rng.below(512) * kPageSize +
+                    rng.below(kLinesPerPage) * kLineSize;
+        core.executeOp(asid, TraceOp::load(addr));
+    }
+    benchmark::DoNotOptimize(core.currentCycle());
+}
+BENCHMARK(BM_SimulatedReadAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

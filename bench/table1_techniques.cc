@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Table 1: the seven fine-grained memory-management techniques the
+ * framework enables. Each is exercised end to end on the simulated
+ * system and reports the benefit the paper's table claims over its
+ * state-of-the-art baseline.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "sparse/csr.hh"
+#include "sparse/overlay_matrix.hh"
+#include "sparse/spmv.hh"
+#include "system/system.hh"
+#include "tech/checkpoint.hh"
+#include "tech/dedup.hh"
+#include "tech/metadata.hh"
+#include "tech/overlay_on_write.hh"
+#include "tech/speculation.hh"
+#include "tech/superpage.hh"
+#include "workload/forkbench.hh"
+#include "workload/matrixgen.hh"
+
+using namespace ovl;
+
+namespace
+{
+
+constexpr Addr kBase = 0x100000;
+
+void
+technique1OverlayOnWrite()
+{
+    // Fork-based sharing; one divergent write per page in both modes.
+    ForkBenchParams params = forkBenchByName("mcf");
+    params.warmupInstructions = 50'000;
+    params.postForkInstructions = 400'000;
+    params.footprintPages /= 8;
+    params.hotPages /= 8;
+    params.dirtyPages /= 8;
+    ForkBenchResult cow =
+        runForkBench(params, ForkMode::CopyOnWrite, SystemConfig{});
+    ForkBenchResult oow =
+        runForkBench(params, ForkMode::OverlayOnWrite, SystemConfig{});
+    std::printf("1. Overlay-on-write      vs copy-on-write:        "
+                "%.2fx less memory, %.2fx faster (mcf slice)\n",
+                cow.additionalMemoryMB / oow.additionalMemoryMB,
+                cow.cpi / oow.cpi);
+}
+
+void
+technique2SparseDataStructures()
+{
+    MatrixSpec spec;
+    spec.family = MatrixFamily::BlockDense;
+    spec.blockRunLines = 128;
+    spec.targetL = 7.5;
+    spec.nnz = 40'000;
+    CooMatrix coo = generateMatrix(spec);
+    std::vector<double> x(coo.cols, 1.0);
+    SpmvAddrs addrs;
+
+    System sys((SystemConfig()));
+    OooCore core("core", sys);
+    Asid asid = sys.createProcess();
+    installVectors(sys, asid, addrs, x, coo.rows);
+    OverlayMatrix matrix(sys, asid, addrs.aBase);
+    matrix.build(coo);
+    SpmvResult overlay = spmvOverlay(sys, core, matrix, addrs, x, 0);
+
+    System sys2((SystemConfig()));
+    OooCore core2("core", sys2);
+    Asid asid2 = sys2.createProcess();
+    installVectors(sys2, asid2, addrs, x, coo.rows);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    installCsr(sys2, asid2, addrs, csr);
+    sys2.quiesce();
+    SpmvResult csr_res = spmvCsr(sys2, core2, asid2, addrs, csr, x, 0);
+
+    // Dynamic update cost: one overlay insert vs CSR element shifting.
+    std::uint64_t csr_moved = csr.insert(1, 9, 3.0);
+    std::uint64_t before = sys.overlayingWrites();
+    matrix.insert(1, 9, 3.0, 0);
+    std::printf("2. Sparse structures     vs CSR (L=7.5):          "
+                "%.2fx faster SpMV; insert = %llu overlaying write vs "
+                "%llu CSR elements moved\n",
+                double(csr_res.cycles) / double(overlay.cycles),
+                (unsigned long long)(sys.overlayingWrites() - before),
+                (unsigned long long)csr_moved);
+}
+
+void
+technique3Dedup()
+{
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    constexpr unsigned kPages = 64;
+    sys.mapAnon(asid, kBase, kPages * kPageSize);
+    // 8 content groups; members differ from their base in 2 lines.
+    Rng rng(11);
+    std::vector<std::pair<Asid, Addr>> pages;
+    for (unsigned p = 0; p < kPages; ++p) {
+        std::vector<std::uint8_t> content(kPageSize,
+                                          std::uint8_t(0x10 + p % 8));
+        if (p >= 8) {
+            content[rng.below(kPageSize)] ^= 0xFF;
+            content[rng.below(kPageSize)] ^= 0xFF;
+        }
+        sys.poke(asid, kBase + p * kPageSize, content.data(), kPageSize);
+        pages.push_back({asid, kBase + p * kPageSize});
+    }
+    tech::DedupEngine engine(sys, tech::DedupParams{});
+    tech::DedupReport report = engine.deduplicate(pages);
+    std::printf("3. Fine-grain dedup      vs Difference Engine:    "
+                "%llu/%llu pages merged, %.1f KB net saved, patched pages"
+                " stay directly accessible\n",
+                (unsigned long long)report.pagesDeduplicated,
+                (unsigned long long)report.pagesScanned,
+                double(report.bytesSaved()) / 1024.0);
+}
+
+void
+technique4Checkpointing()
+{
+    System sys((SystemConfig()));
+    OooCore core("core", sys);
+    Asid asid = sys.createProcess();
+    constexpr unsigned kPages = 256;
+    sys.mapAnon(asid, kBase, kPages * kPageSize);
+    tech::CheckpointManager ckpt(sys, asid);
+    ckpt.addRange(kBase, kPages * kPageSize);
+
+    // An interval that dirties a few lines on a few pages.
+    Rng rng(3);
+    core.beginEpoch(0);
+    for (unsigned i = 0; i < 400; ++i) {
+        Addr addr = kBase + rng.below(kPages / 4) * kPageSize +
+                    rng.below(kLinesPerPage) * kLineSize;
+        core.executeOp(asid, TraceOp::store(addr));
+        core.executeOp(asid, TraceOp::compute(20));
+    }
+    Tick t = core.finishEpoch();
+    tech::CheckpointStats stats = ckpt.takeCheckpoint(t);
+    std::printf("4. Checkpointing         vs page-granular backup: "
+                "%.1f KB delta vs %.1f KB (%.1fx less checkpoint"
+                " bandwidth)\n",
+                double(stats.deltaBytes) / 1024.0,
+                double(stats.pageGranBytes) / 1024.0,
+                double(stats.pageGranBytes) / double(stats.deltaBytes));
+}
+
+void
+technique5Speculation()
+{
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    // Far more speculative state than the whole cache hierarchy holds.
+    std::uint64_t span = 256 * kPageSize; // 1 MB; L1 is 64 KB
+    sys.mapAnon(asid, kBase, span);
+    tech::SpeculativeRegion region(sys, asid);
+    region.begin(kBase, span);
+    Tick t = 0;
+    for (Addr a = kBase; a < kBase + span; a += kLineSize)
+        t = sys.access(asid, a, true, t);
+    std::uint64_t lines = region.speculativeLines();
+    region.abort(t);
+    std::printf("5. Virtualized spec.     vs cache-bounded schemes: "
+                "%llu speculative lines (%.0fx the L1 capacity) buffered"
+                " and aborted cleanly\n",
+                (unsigned long long)lines,
+                double(lines * kLineSize) / double(64 * 1024));
+}
+
+void
+technique6Metadata()
+{
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapAnon(asid, kBase, 16 * kPageSize);
+    tech::TaintTracker taint(sys, asid);
+    taint.enable(kBase, 16 * kPageSize);
+    taint.setTaint(kBase, 64, true, 0);
+    Tick t = taint.taintedCopy(kBase + 8 * kPageSize, kBase, 64, 0);
+    bool propagated = taint.isTainted(kBase + 8 * kPageSize, 64);
+    std::printf("6. Fine-grain metadata   vs dedicated shadow HW:   "
+                "byte-granular taint %s through copies; no"
+                " metadata-specific hardware (%.0f cycles/propagating"
+                " copy)\n",
+                propagated ? "propagates" : "FAILED", double(t));
+}
+
+void
+technique7SuperPages()
+{
+    System sys((SystemConfig()));
+    Asid owner = sys.createProcess();
+    Asid clone = sys.createProcess();
+    tech::SuperPageManager spm(sys);
+    Addr sp = 0x4000'0000;
+    spm.mapSuperPage(owner, sp);
+    spm.share(owner, clone, sp);
+    tech::SuperPageCowStats stats;
+    // The clone writes into three segments of the 2 MB page.
+    spm.write(clone, sp + 1 * tech::kSegmentSize, 0, &stats);
+    spm.write(clone, sp + 17 * tech::kSegmentSize, 10'000, &stats);
+    spm.write(clone, sp + 42 * tech::kSegmentSize, 20'000, &stats);
+    std::printf("7. Flexible super-pages  vs rigid 2MB CoW:         "
+                "copied %.0f KB instead of %.0f KB; TLB reach"
+                " preserved\n",
+                double(spm.flexibleBytes()) / 1024.0,
+                double(spm.rigidBytes()) / 1024.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 1: the seven techniques on the page-overlay"
+                " framework\n\n");
+    technique1OverlayOnWrite();
+    technique2SparseDataStructures();
+    technique3Dedup();
+    technique4Checkpointing();
+    technique5Speculation();
+    technique6Metadata();
+    technique7SuperPages();
+    return 0;
+}

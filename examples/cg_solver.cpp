@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Conjugate-gradient solver on an overlay-represented sparse matrix —
+ * the kind of iterative-solver workload the paper's sparse-computation
+ * technique targets (§5.2). Every CG iteration runs one SpMV through the
+ * simulated machine using the overlay computation model; the same system
+ * instance is reused, so the overlay lines stay cache/OMS-resident
+ * across iterations (unlike a software format that re-streams index
+ * arrays each time).
+ *
+ * Build & run:  ./build/examples/cg_solver
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+#include "sparse/overlay_matrix.hh"
+#include "sparse/spmv.hh"
+
+using namespace ovl;
+
+namespace
+{
+
+/** A symmetric positive-definite banded system (1-D Poisson + shift). */
+CooMatrix
+poissonMatrix(std::uint32_t n)
+{
+    CooMatrix coo;
+    coo.name = "poisson1d";
+    coo.rows = n;
+    coo.cols = n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        coo.entries.push_back({i, i, 4.0});
+        if (i > 0)
+            coo.entries.push_back({i, i - 1, -1.0});
+        if (i + 1 < n)
+            coo.entries.push_back({i, i + 1, -1.0});
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double sum = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint32_t kN = 512;
+    CooMatrix coo = poissonMatrix(kN);
+    MatrixStats stats = analyzeMatrix(coo, kLineSize);
+    std::printf("System: %ux%u SPD banded matrix, %llu non-zeros,"
+                " L=%.2f\n",
+                kN, kN, (unsigned long long)coo.nnz(), stats.locality);
+
+    // One simulated machine for the whole solve.
+    System sys((SystemConfig()));
+    OooCore core("core", sys);
+    Asid asid = sys.createProcess();
+    SpmvAddrs addrs;
+    std::vector<double> zeros(kN, 0.0);
+    installVectors(sys, asid, addrs, zeros, kN);
+    OverlayMatrix matrix(sys, asid, addrs.aBase);
+    matrix.build(coo);
+
+    // Solve A x = b for b = A * ones (so the exact solution is ones).
+    std::vector<double> ones(kN, 1.0);
+    std::vector<double> b = spmvReference(coo, ones);
+
+    std::vector<double> x(kN, 0.0);
+    std::vector<double> r = b; // residual (x0 = 0)
+    std::vector<double> p = r;
+    double rr = dot(r, r);
+    double rr0 = rr;
+
+    Tick t = 0;
+    unsigned iters = 0;
+    std::printf("\n%6s %14s %14s\n", "iter", "rel. residual",
+                "sim cycles");
+    while (rr > 1e-18 * rr0 && iters < 200) {
+        // Ap = A * p through the simulated overlay engine. The vector p
+        // changes every iteration, so re-install it functionally.
+        for (std::uint32_t i = 0; i < kN; ++i)
+            sys.poke(asid, addrs.xBase + Addr(i) * 8, &p[i], 8);
+        SpmvResult res = spmvOverlay(sys, core, matrix, addrs, p, t);
+        t = res.cycles + t;
+
+        double alpha = rr / dot(p, res.y);
+        for (std::uint32_t i = 0; i < kN; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * res.y[i];
+        }
+        double rr_next = dot(r, r);
+        double beta = rr_next / rr;
+        for (std::uint32_t i = 0; i < kN; ++i)
+            p[i] = r[i] + beta * p[i];
+        rr = rr_next;
+        ++iters;
+        if (iters % 25 == 0 || rr <= 1e-18 * rr0) {
+            std::printf("%6u %14.3e %14llu\n", iters,
+                        std::sqrt(rr / rr0), (unsigned long long)t);
+        }
+    }
+
+    double max_err = 0;
+    for (std::uint32_t i = 0; i < kN; ++i)
+        max_err = std::max(max_err, std::fabs(x[i] - 1.0));
+    std::printf("\nConverged in %u iterations; max |x - 1| = %.2e;"
+                " %llu simulated cycles total.\n",
+                iters, max_err, (unsigned long long)t);
+    return max_err < 1e-6 ? 0 : 1;
+}

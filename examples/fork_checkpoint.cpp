@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Process checkpointing, two ways (§5.1 and §5.3.2):
+ *
+ *  1. fork()-based checkpointing (the paper's §5.1 scenario): the parent
+ *     keeps running while the child holds the snapshot; every divergent
+ *     write costs a page copy under CoW but one line under overlays.
+ *  2. Overlay delta checkpointing (§5.3.2): overlays capture the updates
+ *     of each interval, and only the deltas go to the backing store.
+ *
+ * Build & run:  ./build/examples/fork_checkpoint
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "system/system.hh"
+#include "tech/checkpoint.hh"
+
+using namespace ovl;
+
+namespace
+{
+
+constexpr Addr kHeap = 0x100000;
+constexpr unsigned kPages = 512;
+
+/** A burst of scattered updates (the app running between checkpoints). */
+Tick
+runInterval(System &sys, OooCore &core, Asid asid, Rng &rng, Tick start)
+{
+    (void)sys; // the core drives the system; kept for signature clarity
+    core.beginEpoch(start);
+    for (unsigned i = 0; i < 2'000; ++i) {
+        Addr addr = kHeap + rng.below(kPages) * kPageSize +
+                    rng.below(kLinesPerPage) * kLineSize;
+        core.executeOp(asid, TraceOp::store(addr));
+        core.executeOp(asid, TraceOp::compute(30));
+    }
+    return core.finishEpoch();
+}
+
+} // namespace
+
+int
+main()
+{
+    // ----- 1. fork()-based snapshots ------------------------------------
+    std::printf("fork()-based checkpointing (parent runs on, child holds"
+                " the snapshot):\n");
+    for (ForkMode mode : {ForkMode::CopyOnWrite, ForkMode::OverlayOnWrite}) {
+        System sys((SystemConfig()));
+        OooCore core("core", sys);
+        Rng rng(7);
+        Asid parent = sys.createProcess();
+        sys.mapAnon(parent, kHeap, kPages * kPageSize);
+        Tick t = runInterval(sys, core, parent, rng, 0); // warm
+
+        Tick total_interval_cycles = 0;
+        for (unsigned snap = 0; snap < 3; ++snap) {
+            sys.fork(parent, mode, t, &t);
+            sys.markMemoryBaseline();
+            t = runInterval(sys, core, parent, rng, t);
+            total_interval_cycles += core.epochCycles();
+        }
+        sys.caches().flushAll(t);
+        std::printf("  %-16s %8.2f MB extra, %llu cycles across 3"
+                    " intervals\n",
+                    mode == ForkMode::CopyOnWrite ? "copy-on-write"
+                                                  : "overlay-on-write",
+                    double(sys.additionalMemoryBytes()) / double(1_MiB),
+                    (unsigned long long)total_interval_cycles);
+    }
+
+    // ----- 2. overlay delta checkpointing -------------------------------
+    std::printf("\nOverlay delta checkpointing (only the deltas reach the"
+                " backing store):\n");
+    System sys((SystemConfig()));
+    OooCore core("core", sys);
+    Rng rng(7);
+    Asid proc = sys.createProcess();
+    sys.mapAnon(proc, kHeap, kPages * kPageSize);
+    tech::CheckpointManager ckpt(sys, proc);
+    ckpt.addRange(kHeap, kPages * kPageSize);
+
+    Tick t = 0;
+    for (unsigned interval = 0; interval < 3; ++interval) {
+        t = runInterval(sys, core, proc, rng, t);
+        tech::CheckpointStats stats = ckpt.takeCheckpoint(t);
+        t += stats.latency;
+        std::printf("  checkpoint %u: %5llu dirty lines on %4llu pages ->"
+                    " %7.1f KB delta (page-granular: %7.1f KB, %4.1fx"
+                    " more)\n",
+                    interval + 1, (unsigned long long)stats.dirtyLines,
+                    (unsigned long long)stats.dirtyPages,
+                    double(stats.deltaBytes) / 1024.0,
+                    double(stats.pageGranBytes) / 1024.0,
+                    double(stats.pageGranBytes) /
+                        double(stats.deltaBytes));
+    }
+    std::printf("  total delta written: %.1f KB across %llu"
+                " checkpoints\n",
+                double(ckpt.totalDeltaBytes()) / 1024.0,
+                (unsigned long long)ckpt.checkpointsTaken());
+
+    // ----- 3. crash recovery: roll back to checkpoint 2 -----------------
+    std::uint64_t probe_before = 0;
+    sys.peek(proc, kHeap, &probe_before, 8);
+    std::uint64_t garbage = 0xDEADDEAD;
+    sys.poke(proc, kHeap, &garbage, 8); // the "crash" corrupts state
+    t = ckpt.restore(2, t);
+    std::uint64_t probe_after = 0;
+    sys.peek(proc, kHeap, &probe_after, 8);
+    std::printf("\nCrash recovery: restored to checkpoint 2 from the"
+                " %.1f KB backing store;\nfirst word rolled back"
+                " (corrupted 0x%llX -> 0x%llX).\n",
+                double(ckpt.backingStoreBytes()) / 1024.0,
+                (unsigned long long)garbage,
+                (unsigned long long)probe_after);
+    (void)probe_before;
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fine-grained metadata management (§5.3.4): dynamic taint tracking with
+ * the Overlay Address Space as shadow memory.
+ *
+ * A byte of "network input" is marked tainted; the program shuffles data
+ * through buffers with propagating copies; a policy check then catches
+ * tainted bytes reaching a "sensitive sink". No metadata-specific
+ * hardware — the shadow bytes live in page overlays, reached by the new
+ * metadata load/store instructions.
+ *
+ * Build & run:  ./build/examples/taint_tracking
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "system/system.hh"
+#include "tech/metadata.hh"
+
+using namespace ovl;
+
+namespace
+{
+
+constexpr Addr kNetBuf = 0x100000;   // "network" input buffer
+constexpr Addr kWorkBuf = 0x200000;  // intermediate processing buffer
+constexpr Addr kSinkBuf = 0x300000;  // sensitive sink (e.g., a syscall arg)
+
+} // namespace
+
+int
+main()
+{
+    System sys((SystemConfig()));
+    Asid proc = sys.createProcess();
+    for (Addr base : {kNetBuf, kWorkBuf, kSinkBuf})
+        sys.mapAnon(proc, base, kPageSize);
+
+    tech::TaintTracker taint(sys, proc);
+    for (Addr base : {kNetBuf, kWorkBuf, kSinkBuf})
+        taint.enable(base, kPageSize);
+
+    // 256 bytes arrive from the network; all of it is untrusted.
+    std::vector<std::uint8_t> packet(256);
+    for (std::size_t i = 0; i < packet.size(); ++i)
+        packet[i] = std::uint8_t(i);
+    sys.poke(proc, kNetBuf, packet.data(), packet.size());
+    Tick t = taint.setTaint(kNetBuf, packet.size(), true, 0);
+    std::printf("Marked %zu network bytes tainted (%u shadow lines in"
+                " the overlay).\n",
+                packet.size(),
+                sys.pageObv(proc, kNetBuf).count());
+
+    // The program mixes trusted and untrusted data in its work buffer.
+    std::uint64_t trusted = 0x5AFE;
+    sys.poke(proc, kWorkBuf, &trusted, 8);
+    t = taint.setTaint(kWorkBuf, 8, false, t);
+    t = taint.taintedCopy(kWorkBuf + 64, kNetBuf + 16, 32, t); // tainted!
+    std::printf("Work buffer: bytes [0,8) %s, bytes [64,96) %s\n",
+                taint.isTainted(kWorkBuf, 8) ? "TAINTED" : "clean",
+                taint.isTainted(kWorkBuf + 64, 32) ? "TAINTED" : "clean");
+
+    // Copies into the sink; the policy check runs before "use".
+    t = taint.taintedCopy(kSinkBuf, kWorkBuf, 8, t);       // clean path
+    t = taint.taintedCopy(kSinkBuf + 8, kWorkBuf + 64, 8, t); // leak!
+
+    bool clean_ok = !taint.isTainted(kSinkBuf, 8);
+    bool leak_caught = taint.isTainted(kSinkBuf + 8, 8);
+    std::printf("Sink check: trusted copy %s; tainted leak %s\n",
+                clean_ok ? "passes" : "FALSELY FLAGGED",
+                leak_caught ? "caught" : "MISSED");
+
+    // Regular data is untouched by the shadow machinery.
+    std::uint64_t sink0 = 0;
+    sys.peek(proc, kSinkBuf, &sink0, 8);
+    std::printf("Sink data reads back 0x%llX (shadow is out of band).\n",
+                (unsigned long long)sink0);
+    std::printf("Total simulated time: %llu cycles.\n",
+                (unsigned long long)t);
+    return clean_ok && leak_caught && sink0 == 0x5AFE ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Convert overlaysim bench outputs into CSV for plotting.
+
+Usage:
+    build/bench/fig10_spmv_overlay_vs_csr | scripts/bench_to_csv.py fig10
+    build/bench/fig08_fork_memory         | scripts/bench_to_csv.py fig08
+    build/bench/fig09_fork_performance    | scripts/bench_to_csv.py fig09
+    build/bench/fig11_line_size_sweep     | scripts/bench_to_csv.py fig11
+
+Reads the bench's stdout on stdin and writes CSV to stdout. Only data
+rows are converted; headers/summaries are dropped.
+"""
+
+import re
+import sys
+
+
+def fig10(lines):
+    print("matrix,L,perf_vs_csr,mem_vs_csr")
+    row = re.compile(r"^(\S+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$")
+    for line in lines:
+        m = row.match(line)
+        if m:
+            print(",".join(m.groups()))
+
+
+def fig08(lines):
+    print("benchmark,type,cow_mb,oow_mb,reduction_pct")
+    row = re.compile(
+        r"^(\w+)\s+(\d)\s+([\d.]+)\s+([\d.]+)\s+(-?[\d.]+)%\s*$")
+    for line in lines:
+        m = row.match(line)
+        if m:
+            print(",".join(m.groups()))
+
+
+def fig09(lines):
+    print("benchmark,type,cow_cpi,oow_cpi,speedup")
+    row = re.compile(
+        r"^(\w+)\s+(\d)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)x\s*$")
+    for line in lines:
+        m = row.match(line)
+        if m:
+            print(",".join(m.groups()))
+
+
+def fig11(lines):
+    header_written = False
+    row = re.compile(r"^(\S+)\s+([\d.]+)\s+([\d.]+)((?:\s+[\d.]+)+)\s*$")
+    for line in lines:
+        m = row.match(line)
+        if not m:
+            continue
+        blocks = m.group(4).split()
+        if not header_written:
+            cols = ",".join(f"block{i}" for i in range(len(blocks)))
+            print(f"matrix,L,csr,{cols}")
+            header_written = True
+        print(f"{m.group(1)},{m.group(2)},{m.group(3)}," +
+              ",".join(blocks))
+
+
+CONVERTERS = {
+    "fig10": fig10,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig11": fig11,
+}
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1] not in CONVERTERS:
+        sys.stderr.write(__doc__)
+        return 2
+    CONVERTERS[sys.argv[1]](sys.stdin.read().splitlines())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+#include "cache.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+SetAssocCache::SetAssocCache(std::string name, CacheParams params)
+    : SimObject(std::move(name)), params_(params),
+      numSets_(unsigned(params.sizeBytes / kLineSize / params.associativity)),
+      ways_(params.associativity),
+      lines_(std::size_t(numSets_) * ways_),
+      repl_(params.replPolicy, numSets_),
+      hits_(&statGroup(), "hits", "demand hits"),
+      misses_(&statGroup(), "misses", "demand misses"),
+      writebacks_(&statGroup(), "writebacks", "dirty lines displaced"),
+      prefetchFills_(&statGroup(), "prefetchFills", "lines filled by prefetch"),
+      prefetchHits_(&statGroup(), "prefetchHits",
+                    "demand hits on prefetched lines"),
+      retags_(&statGroup(), "retags",
+              "lines retagged in place (overlaying writes)")
+{
+    ovl_assert(params.sizeBytes % (kLineSize * params.associativity) == 0,
+               "cache size must be a whole number of sets");
+    ovl_assert(isPowerOf2(numSets_), "set count must be a power of two");
+}
+
+unsigned
+SetAssocCache::setIndex(Addr line_addr) const
+{
+    return unsigned((line_addr >> kLineShift) & (numSets_ - 1));
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(Addr line_addr)
+{
+    Line *set = &lines_[std::size_t(setIndex(line_addr)) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == line_addr)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(Addr line_addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(line_addr);
+}
+
+std::optional<Eviction>
+SetAssocCache::insert(Addr line_addr, bool dirty, bool is_prefetch)
+{
+    unsigned set_idx = setIndex(line_addr);
+    Line *set = &lines_[std::size_t(set_idx) * ways_];
+
+    // Prefer an invalid way.
+    Line *slot = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!set[w].valid) {
+            slot = &set[w];
+            break;
+        }
+    }
+
+    std::optional<Eviction> evicted;
+    if (slot == nullptr) {
+        // All ways valid: consult the replacement policy.
+        ReplState repl_states[64];
+        ovl_assert(ways_ <= 64, "associativity beyond victim buffer");
+        for (unsigned w = 0; w < ways_; ++w)
+            repl_states[w] = set[w].repl;
+        unsigned victim = repl_.selectVictim(repl_states, ways_);
+        for (unsigned w = 0; w < ways_; ++w)
+            set[w].repl = repl_states[w]; // RRIP aging mutates in place
+        slot = &set[victim];
+        evicted = Eviction{slot->tag, slot->dirty};
+        if (slot->dirty)
+            ++writebacks_;
+    }
+
+    slot->tag = line_addr;
+    slot->valid = true;
+    slot->dirty = dirty;
+    slot->prefetched = is_prefetch;
+    repl_.onInsert(slot->repl, set_idx, is_prefetch);
+    if (is_prefetch)
+        ++prefetchFills_;
+    return evicted;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr line_addr, bool is_write)
+{
+    if (Line *line = findLine(line_addr)) {
+        ++hits_;
+        if (line->prefetched) {
+            ++prefetchHits_;
+            line->prefetched = false;
+        }
+        repl_.onHit(line->repl);
+        if (is_write)
+            line->dirty = true;
+        return CacheAccessResult{true, std::nullopt};
+    }
+    ++misses_;
+    repl_.onMiss(setIndex(line_addr));
+    auto eviction = insert(line_addr, is_write, false);
+    return CacheAccessResult{false, eviction};
+}
+
+std::optional<Eviction>
+SetAssocCache::fill(Addr line_addr, bool dirty, bool is_prefetch)
+{
+    if (Line *line = findLine(line_addr)) {
+        line->dirty = line->dirty || dirty;
+        return std::nullopt;
+    }
+    return insert(line_addr, dirty, is_prefetch);
+}
+
+bool
+SetAssocCache::isPresent(Addr line_addr) const
+{
+    return findLine(line_addr) != nullptr;
+}
+
+bool
+SetAssocCache::isPrefetched(Addr line_addr) const
+{
+    const Line *line = findLine(line_addr);
+    return line != nullptr && line->prefetched;
+}
+
+std::optional<Eviction>
+SetAssocCache::invalidate(Addr line_addr)
+{
+    if (Line *line = findLine(line_addr)) {
+        Eviction ev{line->tag, line->dirty};
+        line->valid = false;
+        line->dirty = false;
+        return ev;
+    }
+    return std::nullopt;
+}
+
+bool
+SetAssocCache::retag(Addr old_addr, Addr new_addr)
+{
+    Line *line = findLine(old_addr);
+    if (line == nullptr)
+        return false;
+    if (setIndex(old_addr) != setIndex(new_addr)) {
+        // The overlay address indexes a different set; hardware would do
+        // an explicit line copy instead (§4.3.3). Caller handles it.
+        return false;
+    }
+    if (findLine(new_addr) != nullptr)
+        return false;
+    line->tag = new_addr;
+    ++retags_;
+    return true;
+}
+
+void
+SetAssocCache::flushAll()
+{
+    for (Line &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+        line.prefetched = false;
+    }
+}
+
+} // namespace ovl

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Set-associative, write-back, write-allocate cache with configurable
+ * tag/data latencies and serial or parallel tag/data lookup (Table 2).
+ * Tags are full line addresses: because the overlay address space is part
+ * of the physical address space (§3.2), overlay lines are cached exactly
+ * like regular lines — only the tag is wider (§4.5 charges that cost).
+ */
+
+#ifndef OVERLAYSIM_CACHE_CACHE_HH
+#define OVERLAYSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace ovl
+{
+
+/** Static configuration of one cache level. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned associativity = 4;
+    Tick tagLatency = 1;
+    Tick dataLatency = 2;
+    /** Parallel lookup: hit latency = max(tag, data); serial: tag + data. */
+    bool parallelTagData = true;
+    ReplPolicy replPolicy = ReplPolicy::LRU;
+
+    Tick
+    hitLatency() const
+    {
+        return parallelTagData ? std::max(tagLatency, dataLatency)
+                               : tagLatency + dataLatency;
+    }
+
+    /** Latency to determine a miss (the tag lookup). */
+    Tick missDetectLatency() const { return tagLatency; }
+};
+
+/** A line evicted to make room for a fill. */
+struct Eviction
+{
+    Addr lineAddr = kInvalidAddr;
+    bool dirty = false;
+};
+
+/** Result of a demand lookup-and-allocate. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Victim displaced by the miss fill, if any. */
+    std::optional<Eviction> eviction;
+};
+
+/**
+ * One cache level. The cache stores tags and state only — functional data
+ * lives in the backing stores (see DESIGN.md §3, functional/timing split).
+ */
+class SetAssocCache : public SimObject
+{
+  public:
+    SetAssocCache(std::string name, CacheParams params);
+
+    const CacheParams &params() const { return params_; }
+    unsigned numSets() const { return numSets_; }
+
+    /**
+     * Demand access: looks up @p line_addr, allocates on miss, and marks
+     * the line dirty when @p is_write. The returned eviction (if any)
+     * must be handled by the caller (written back / installed below).
+     */
+    CacheAccessResult access(Addr line_addr, bool is_write);
+
+    /**
+     * Fill without a demand access (writeback from an upper level or a
+     * prefetch). Marks dirty when @p dirty; tracks prefetched lines so
+     * DRRIP can deprioritize them. Returns a displaced victim, if any.
+     * If the line is already present it is updated in place.
+     */
+    std::optional<Eviction> fill(Addr line_addr, bool dirty,
+                                 bool is_prefetch = false);
+
+    /** Tag probe without any state update. */
+    bool isPresent(Addr line_addr) const;
+
+    /** True if present and the line was installed by the prefetcher. */
+    bool isPrefetched(Addr line_addr) const;
+
+    /**
+     * Remove @p line_addr if present. Returns the eviction record (so a
+     * dirty invalidated line can be written back) or nullopt.
+     */
+    std::optional<Eviction> invalidate(Addr line_addr);
+
+    /**
+     * Retag a resident line from @p old_addr to @p new_addr, preserving
+     * dirtiness. This is the hardware path of the overlaying write: "copy
+     * the cache line ... by simply updating the cache tag to correspond to
+     * the overlay page number" (§4.3.3). Returns false if not resident or
+     * if the destination conflicts with a resident line in another set
+     * position (caller then falls back to an explicit copy).
+     */
+    bool retag(Addr old_addr, Addr new_addr);
+
+    /** Drop every line (used between experiment phases). */
+    void flushAll();
+
+    /** Write back and drop every dirty line, invoking @p sink for each. */
+    template <typename Sink>
+    void
+    writebackAll(Sink &&sink)
+    {
+        for (std::size_t i = 0; i < lines_.size(); ++i) {
+            Line &line = lines_[i];
+            if (line.valid && line.dirty)
+                sink(line.tag);
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = kInvalidAddr; ///< full line address
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        ReplState repl;
+    };
+
+    unsigned setIndex(Addr line_addr) const;
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+    /** Insert into the set of @p line_addr; returns displaced victim. */
+    std::optional<Eviction> insert(Addr line_addr, bool dirty,
+                                   bool is_prefetch);
+
+    CacheParams params_;
+    unsigned numSets_;
+    unsigned ways_;
+    std::vector<Line> lines_; ///< numSets_ x ways_, row-major by set
+    ReplacementEngine repl_;
+
+    stats::Counter hits_;
+    stats::Counter misses_;
+    stats::Counter writebacks_;
+    stats::Counter prefetchFills_;
+    stats::Counter prefetchHits_;
+    stats::Counter retags_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_CACHE_CACHE_HH

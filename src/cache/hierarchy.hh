@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Three-level non-inclusive cache hierarchy (Table 2): 64 KB 4-way L1,
+ * 512 KB 8-way L2, 2 MB 16-way DRRIP L3, with a stream prefetcher that
+ * monitors L2 misses and fills the L3. Below the hierarchy sits a
+ * MemBackend — in the full system this is the overlay-aware memory
+ * controller, which routes overlay-space addresses to the Overlay Memory
+ * Store (§4.3.1).
+ */
+
+#ifndef OVERLAYSIM_CACHE_HIERARCHY_HH
+#define OVERLAYSIM_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/prefetcher.hh"
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace ovl
+{
+
+/**
+ * What the cache hierarchy talks to on a full miss. Implemented by the
+ * overlay-aware memory controller in src/system.
+ */
+class MemBackend
+{
+  public:
+    virtual ~MemBackend() = default;
+
+    /** Read a line; returns the completion time. */
+    virtual Tick readLine(Addr line_addr, Tick when) = 0;
+
+    /**
+     * Accept a dirty writeback; returns the acceptance time. For overlay
+     * lines this is where the OMS slot is lazily allocated (§4.3.3).
+     */
+    virtual Tick writebackLine(Addr line_addr, Tick when) = 0;
+};
+
+/** Parameters of the three levels plus the prefetcher. */
+struct HierarchyParams
+{
+    CacheParams l1{64 * 1024, 4, 1, 2, true, ReplPolicy::LRU};
+    CacheParams l2{512 * 1024, 8, 2, 8, true, ReplPolicy::LRU};
+    CacheParams l3{2 * 1024 * 1024, 16, 10, 24, false, ReplPolicy::DRRIP};
+    PrefetcherParams prefetcher{};
+};
+
+/** Which level serviced a demand access. */
+enum class HitLevel
+{
+    L1,
+    L2,
+    L3,
+    Memory,
+};
+
+/**
+ * The demand path: L1 -> L2 -> L3 -> MemBackend, with dirty-victim
+ * cascades and L2-miss-trained prefetching into L3.
+ */
+class CacheHierarchy : public SimObject
+{
+  public:
+    CacheHierarchy(std::string name, HierarchyParams params,
+                   MemBackend &backend);
+
+    /**
+     * One demand access to a line address (regular-physical or overlay
+     * space). Returns the completion time; @p hit_level (optional)
+     * reports which level serviced it.
+     */
+    Tick access(Addr line_addr, bool is_write, Tick when,
+                HitLevel *hit_level = nullptr);
+
+    /**
+     * Invalidate a line everywhere, writing it back if dirty. Used when
+     * overlays are promoted/discarded (§4.3.4).
+     */
+    void invalidateLine(Addr line_addr, Tick when);
+
+    /**
+     * Retag a line from the regular physical space to the overlay space
+     * in whichever level holds it — the overlaying write's tag update
+     * (§4.3.3). Falls back to invalidate+fill when retagging in place is
+     * not possible (cascaded victims are stamped with @p when). Returns
+     * true if the line was found somewhere.
+     */
+    bool retagLine(Addr old_addr, Addr new_addr, Tick when);
+
+    /**
+     * Software/hardware-directed prefetch of one line into the L3 (used
+     * by the overlay-aware prefetcher, §5.2: the OBitVector tells the
+     * hardware exactly which overlay lines exist). Non-blocking: charges
+     * memory bandwidth only.
+     */
+    void prefetchLine(Addr line_addr, Tick when);
+
+    /** Write back all dirty lines and empty the hierarchy. */
+    void flushAll(Tick when);
+
+    /** Reset prefetch-bandwidth timing state (phase boundary). */
+    void resetTiming() { prefetchBusyUntil_ = 0; }
+
+    SetAssocCache &l1() { return l1_; }
+    SetAssocCache &l2() { return l2_; }
+    SetAssocCache &l3() { return l3_; }
+    StreamPrefetcher &prefetcher() { return prefetcher_; }
+
+    void resetStats() override;
+
+  private:
+    void handleL1Victim(const Eviction &ev, Tick when);
+    void handleL2Victim(const Eviction &ev, Tick when);
+    void handleL3Victim(const Eviction &ev, Tick when);
+    void issuePrefetches(Addr trigger_line, Tick when);
+    /** Rate-limited best-effort prefetch fill; false if dropped. */
+    bool tryPrefetchFill(Addr line_addr, Tick when);
+
+    HierarchyParams params_;
+    MemBackend &backend_;
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    SetAssocCache l3_;
+    StreamPrefetcher prefetcher_;
+    std::vector<Addr> prefetchScratch_;
+    Tick prefetchBusyUntil_ = 0;
+
+    stats::Counter accesses_;
+    stats::Counter memReads_;
+    stats::Counter memWritebacks_;
+    stats::Counter prefetchReads_;
+    stats::Counter prefetchDrops_;
+    stats::Counter hitsL1_;
+    stats::Counter hitsL2_;
+    stats::Counter hitsL3_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_CACHE_HIERARCHY_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Replacement policies for set-associative structures: LRU and Random for
+ * the L1/L2 (Table 2 uses LRU there), and the RRIP family — SRRIP, BRRIP,
+ * and set-dueling DRRIP [27] — for the last-level cache.
+ */
+
+#ifndef OVERLAYSIM_CACHE_REPLACEMENT_HH
+#define OVERLAYSIM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+
+namespace ovl
+{
+
+/** Which replacement policy a cache instantiates. */
+enum class ReplPolicy
+{
+    LRU,
+    Random,
+    SRRIP,
+    BRRIP,
+    DRRIP,
+};
+
+/** Human-readable policy name (for config dumps). */
+const char *replPolicyName(ReplPolicy policy);
+
+/**
+ * Per-line replacement metadata. A union of what the supported policies
+ * need: an LRU sequence number and a 2-bit re-reference prediction value.
+ */
+struct ReplState
+{
+    std::uint64_t lruSeq = 0;
+    std::uint8_t rrpv = 0;
+};
+
+/**
+ * Policy engine shared by all sets of one cache. Stateless per access
+ * except for the global LRU sequence counter, the BRRIP throttle and the
+ * DRRIP set-dueling PSEL counter.
+ */
+class ReplacementEngine
+{
+  public:
+    ReplacementEngine(ReplPolicy policy, unsigned num_sets,
+                      std::uint64_t seed = 1);
+
+    ReplPolicy policy() const { return policy_; }
+
+    /** Called when a line is hit. */
+    void onHit(ReplState &line);
+
+    /**
+     * Called when a line is inserted. @p set_index selects DRRIP leader
+     * sets; @p is_prefetch inserts prefetched lines with distant RRPV so
+     * inaccurate prefetches do not pollute the LLC.
+     */
+    void onInsert(ReplState &line, unsigned set_index, bool is_prefetch);
+
+    /**
+     * Choose a victim among @p ways lines of a set; invalid lines must be
+     * handled by the caller first. For RRIP policies this ages lines
+     * in-place until a candidate reaches RRPV=3.
+     *
+     * @return the way index of the victim.
+     */
+    unsigned selectVictim(ReplState *lines, unsigned ways);
+
+    /**
+     * DRRIP feedback: called on a miss in a leader set [27]; adjusts the
+     * policy-selection counter.
+     */
+    void onMiss(unsigned set_index);
+
+    /** True if @p set_index is an SRRIP (resp. BRRIP) leader set. */
+    bool isSrripLeader(unsigned set_index) const;
+    bool isBrripLeader(unsigned set_index) const;
+
+    /** Current dynamic winner for DRRIP follower sets. */
+    bool brripWinning() const { return psel_ > pselMax_ / 2; }
+
+  private:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+    static constexpr unsigned kLeaderSetStride = 32;
+    static constexpr unsigned kBrripEpsilonInverse = 32; // 1/32 near inserts
+
+    void insertRrip(ReplState &line, bool long_rereference);
+
+    ReplPolicy policy_;
+    unsigned numSets_;
+    std::uint64_t lruCounter_ = 0;
+    unsigned brripThrottle_ = 0;
+    unsigned psel_;
+    unsigned pselMax_;
+    Rng rng_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_CACHE_REPLACEMENT_HH

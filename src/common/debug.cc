@@ -1,0 +1,100 @@
+#include "debug.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ovl::debug
+{
+
+namespace
+{
+
+constexpr unsigned kNumFlags = unsigned(Flag::NumFlags);
+
+const char *const kFlagNames[kNumFlags] = {
+    "dram", "cache", "tlb", "vm", "overlay", "system", "cpu",
+};
+
+bool gFlags[kNumFlags] = {};
+bool gEnvParsed = false;
+
+} // namespace
+
+const char *
+flagName(Flag flag)
+{
+    return kFlagNames[unsigned(flag)];
+}
+
+bool
+enabled(Flag flag)
+{
+    if (!gEnvParsed)
+        initFromEnvironment();
+    return gFlags[unsigned(flag)];
+}
+
+void
+setFlag(Flag flag, bool on)
+{
+    gEnvParsed = true; // explicit control overrides lazy env parsing
+    gFlags[unsigned(flag)] = on;
+}
+
+void
+enableFromList(const std::string &list)
+{
+    gEnvParsed = true;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string name = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            for (bool &flag : gFlags)
+                flag = true;
+            continue;
+        }
+        bool known = false;
+        for (unsigned i = 0; i < kNumFlags; ++i) {
+            if (name == kFlagNames[i]) {
+                gFlags[i] = true;
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::fprintf(stderr,
+                         "warn: unknown OVL_DEBUG flag '%s' ignored\n",
+                         name.c_str());
+        }
+    }
+}
+
+void
+initFromEnvironment()
+{
+    gEnvParsed = true;
+    const char *env = std::getenv("OVL_DEBUG");
+    if (env != nullptr && *env != '\0')
+        enableFromList(env);
+}
+
+void
+printLine(Flag flag, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%s: ", flagName(flag));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace ovl::debug

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Runtime debug tracing in the gem5 DPRINTF tradition. Each component
+ * guards its trace points with a named flag; flags are enabled through
+ * the environment (`OVL_DEBUG=dram,overlay ./binary`) or
+ * programmatically (tests). Disabled flags cost one inlined boolean
+ * check, so trace points can live on hot paths.
+ *
+ *     ovl_trace(overlay, "opn %llx line %u moved", opn, line);
+ */
+
+#ifndef OVERLAYSIM_COMMON_DEBUG_HH
+#define OVERLAYSIM_COMMON_DEBUG_HH
+
+#include <string>
+
+namespace ovl::debug
+{
+
+/** The components with trace points. Extend alongside kFlagNames. */
+enum class Flag : unsigned
+{
+    // Lowercase so `ovl_trace(dram, ...)` reads naturally at call sites.
+    dram,
+    cache,
+    tlb,
+    vm,
+    overlay,
+    system,
+    cpu,
+    NumFlags,
+};
+
+/** True if @p flag was enabled (env var or enable()). */
+bool enabled(Flag flag);
+
+/** Enable/disable one flag at runtime (tests, tools). */
+void setFlag(Flag flag, bool on);
+
+/**
+ * Enable flags from a comma-separated list ("dram,overlay"); "all"
+ * enables everything. Unknown names are reported and ignored.
+ */
+void enableFromList(const std::string &list);
+
+/** Parse OVL_DEBUG once (called lazily by enabled()). */
+void initFromEnvironment();
+
+/** Emit one trace line: `flag: message`. */
+void printLine(Flag flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Flag name as it appears in OVL_DEBUG and in trace output. */
+const char *flagName(Flag flag);
+
+} // namespace ovl::debug
+
+/** Trace-point macro; @p flag is the bare enumerator name. */
+#define ovl_trace(flag, ...) \
+    do { \
+        if (::ovl::debug::enabled(::ovl::debug::Flag::flag)) \
+            ::ovl::debug::printLine(::ovl::debug::Flag::flag, \
+                                    __VA_ARGS__); \
+    } while (0)
+
+#endif // OVERLAYSIM_COMMON_DEBUG_HH

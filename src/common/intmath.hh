@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the simulator.
+ */
+
+#ifndef OVERLAYSIM_COMMON_INTMATH_HH
+#define OVERLAYSIM_COMMON_INTMATH_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace ovl
+{
+
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - unsigned(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Round @p a down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_COMMON_INTMATH_HH

@@ -1,0 +1,79 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ovl
+{
+
+namespace logging_detail
+{
+
+namespace
+{
+bool gQuiet = false;
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    gQuiet = q;
+}
+
+bool
+quiet()
+{
+    return gQuiet;
+}
+
+std::string
+formatString(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::string out(static_cast<std::size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!gQuiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!gQuiet)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace logging_detail
+
+} // namespace ovl

@@ -1,0 +1,137 @@
+#include "trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'O', 'V', 'L', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+/** On-disk record: fixed width, little-endian host layout. */
+struct RawRecord
+{
+    std::uint8_t kind;
+    std::uint8_t dependsOnPrev;
+    std::uint16_t pad;
+    std::uint32_t count;
+    std::uint64_t vaddr;
+};
+static_assert(sizeof(RawRecord) == 16, "record layout must be packed");
+
+} // namespace
+
+TraceSummary
+summarizeTrace(const Trace &trace)
+{
+    TraceSummary summary;
+    std::set<Addr> pages;
+    for (const TraceOp &op : trace) {
+        ++summary.records;
+        summary.dependentOps += op.dependsOnPrev;
+        switch (op.kind) {
+          case TraceOp::Kind::Compute:
+            summary.instructions += op.count;
+            break;
+          case TraceOp::Kind::Load:
+          case TraceOp::Kind::Store:
+            ++summary.instructions;
+            if (op.kind == TraceOp::Kind::Load)
+                ++summary.loads;
+            else
+                ++summary.stores;
+            summary.minAddr = std::min(summary.minAddr, op.vaddr);
+            summary.maxAddr = std::max(summary.maxAddr, op.vaddr);
+            pages.insert(pageNumber(op.vaddr));
+            break;
+        }
+    }
+    summary.touchedPages = pages.size();
+    return summary;
+}
+
+std::uint64_t
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os.write(kMagic, sizeof(kMagic));
+    std::uint32_t version = kVersion;
+    os.write(reinterpret_cast<const char *>(&version), sizeof(version));
+    std::uint64_t count = trace.size();
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+
+    for (const TraceOp &op : trace) {
+        RawRecord rec{};
+        rec.kind = std::uint8_t(op.kind);
+        rec.dependsOnPrev = op.dependsOnPrev ? 1 : 0;
+        rec.count = op.count;
+        rec.vaddr = op.vaddr;
+        os.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+    }
+    return sizeof(kMagic) + sizeof(version) + sizeof(count) +
+           count * sizeof(RawRecord);
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        ovl_fatal("trace stream: bad magic");
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (!is || version != kVersion)
+        ovl_fatal("trace stream: unsupported version %u", version);
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is)
+        ovl_fatal("trace stream: truncated header");
+
+    Trace trace;
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        RawRecord rec;
+        is.read(reinterpret_cast<char *>(&rec), sizeof(rec));
+        if (!is)
+            ovl_fatal("trace stream: truncated at record %llu",
+                      (unsigned long long)i);
+        if (rec.kind > std::uint8_t(TraceOp::Kind::Compute))
+            ovl_fatal("trace stream: bad op kind %u", rec.kind);
+        TraceOp op;
+        op.kind = TraceOp::Kind(rec.kind);
+        op.dependsOnPrev = rec.dependsOnPrev != 0;
+        op.count = rec.count;
+        op.vaddr = rec.vaddr;
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+void
+saveTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        ovl_fatal("cannot open trace file for writing: %s", path.c_str());
+    writeTrace(os, trace);
+    if (!os)
+        ovl_fatal("failed writing trace file: %s", path.c_str());
+}
+
+Trace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        ovl_fatal("cannot open trace file: %s", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace ovl

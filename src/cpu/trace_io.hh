@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trace serialization: save/load the core's instruction traces in a
+ * compact binary format so workloads can be captured once and replayed
+ * across configurations (the standard trace-driven-simulator workflow).
+ */
+
+#ifndef OVERLAYSIM_CPU_TRACE_IO_HH
+#define OVERLAYSIM_CPU_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "cpu/ooo_core.hh"
+
+namespace ovl
+{
+
+/** Summary statistics of a trace. */
+struct TraceSummary
+{
+    std::uint64_t records = 0;      ///< TraceOp records
+    std::uint64_t instructions = 0; ///< instructions (compute expands)
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t dependentOps = 0;
+    Addr minAddr = kInvalidAddr;
+    Addr maxAddr = 0;
+    std::uint64_t touchedPages = 0;
+};
+
+/** Compute the summary of @p trace. */
+TraceSummary summarizeTrace(const Trace &trace);
+
+/** Serialize @p trace to a stream; returns bytes written. */
+std::uint64_t writeTrace(std::ostream &os, const Trace &trace);
+
+/**
+ * Deserialize a trace previously written with writeTrace(). Calls
+ * ovl_fatal on a malformed stream (bad magic/version/truncation).
+ */
+Trace readTrace(std::istream &is);
+
+/** File-path conveniences. */
+void saveTraceFile(const std::string &path, const Trace &trace);
+Trace loadTraceFile(const std::string &path);
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_CPU_TRACE_IO_HH

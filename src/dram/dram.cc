@@ -1,0 +1,168 @@
+#include "dram.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/debug.hh"
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+DramModel::DramModel(std::string name, DramTimingParams params)
+    : SimObject(std::move(name)), params_(params),
+      banks_(params.numBanks),
+      reads_(&statGroup(), "reads", "read bursts serviced"),
+      writes_(&statGroup(), "writes", "write bursts serviced"),
+      rowHits_(&statGroup(), "rowHits", "accesses hitting an open row"),
+      rowClosed_(&statGroup(), "rowClosed", "accesses to a closed bank"),
+      rowConflicts_(&statGroup(), "rowConflicts",
+                    "accesses conflicting with a different open row")
+{
+    ovl_assert(isPowerOf2(params_.numBanks), "bank count must be 2^n");
+    ovl_assert(isPowerOf2(params_.rowBufferBytes), "row buffer must be 2^n");
+}
+
+unsigned
+DramModel::bankOf(Addr line_addr) const
+{
+    // Interleave banks on the bits just above the row-buffer column bits
+    // so that sequential streams spread across banks row by row.
+    Addr row_cols = params_.rowBufferBytes >> kLineShift;
+    return unsigned((line_addr >> kLineShift) / row_cols) & (params_.numBanks - 1);
+}
+
+Addr
+DramModel::rowOf(Addr line_addr) const
+{
+    Addr row_cols = params_.rowBufferBytes >> kLineShift;
+    return ((line_addr >> kLineShift) / row_cols) / params_.numBanks;
+}
+
+Tick
+DramModel::access(Addr line_addr, bool is_write, Tick when)
+{
+    Bank &bank = banks_[bankOf(line_addr)];
+    Addr row = rowOf(line_addr);
+
+    Tick start = std::max(when, bank.readyAt);
+
+    Tick access_lat;
+    if (bank.openRow == row) {
+        ++rowHits_;
+        access_lat = params_.toCpu(params_.tCL + params_.burstClocks());
+    } else if (bank.openRow == kInvalidAddr) {
+        ++rowClosed_;
+        access_lat = params_.toCpu(params_.tRCD + params_.tCL +
+                                   params_.burstClocks());
+        bank.activatedAt = start;
+    } else {
+        ++rowConflicts_;
+        // Precharge may not cut the previous activation shorter than tRAS.
+        Tick ras_ready = bank.activatedAt + params_.toCpu(params_.tRAS);
+        start = std::max(start, ras_ready);
+        access_lat = params_.toCpu(params_.tRP + params_.tRCD + params_.tCL +
+                                   params_.burstClocks());
+        bank.activatedAt = start + params_.toCpu(params_.tRP);
+    }
+    bank.openRow = row;
+
+    // Serialize bursts on the shared data bus.
+    Tick burst = params_.toCpu(params_.burstClocks());
+    Tick data_start = std::max(start + access_lat - burst, busReadyAt_);
+    Tick done = data_start + burst;
+    busReadyAt_ = done;
+
+    // The bank can accept a new column command after the burst; writes add
+    // write-recovery time before a precharge/activate could follow.
+    bank.readyAt = done + (is_write ? params_.toCpu(params_.tWR) : 0);
+
+    if (is_write)
+        ++writes_;
+    else
+        ++reads_;
+    return done;
+}
+
+void
+DramModel::resetTiming()
+{
+    for (Bank &bank : banks_) {
+        bank.readyAt = 0;
+        bank.activatedAt = 0;
+    }
+    busReadyAt_ = 0;
+}
+
+DramController::DramController(std::string name, DramTimingParams params,
+                               unsigned write_buffer_entries)
+    : SimObject(std::move(name)),
+      dram_(this->name() + ".dram", params),
+      writeBufferEntries_(write_buffer_entries),
+      readRequests_(&statGroup(), "readRequests", "reads received"),
+      writeRequests_(&statGroup(), "writeRequests", "writebacks received"),
+      drains_(&statGroup(), "drains", "write-buffer drain episodes"),
+      readDrainStallCycles_(&statGroup(), "readDrainStallCycles",
+                            "cycles reads stalled behind write drains"),
+      readLatency_(&statGroup(), "readLatency",
+                   "DRAM read latency distribution (cycles)", 25, 20)
+{
+    ovl_assert(write_buffer_entries > 0, "write buffer needs capacity");
+    writeBuffer_.reserve(write_buffer_entries);
+}
+
+Tick
+DramController::read(Addr line_addr, Tick when)
+{
+    ++readRequests_;
+    Tick start = when + dram_.params().controllerOverhead;
+    if (drainBusyUntil_ > start) {
+        readDrainStallCycles_ += drainBusyUntil_ - start;
+        start = drainBusyUntil_;
+    }
+    Tick done = dram_.access(line_addr, false, start);
+    readLatency_.sample(done - when);
+    return done;
+}
+
+Tick
+DramController::enqueueWrite(Addr line_addr, Tick when)
+{
+    ++writeRequests_;
+    writeBuffer_.push_back(line_addr);
+    Tick accept = when + dram_.params().controllerOverhead;
+    if (writeBuffer_.size() >= writeBufferEntries_)
+        drainWrites(accept);
+    return accept;
+}
+
+Tick
+DramController::drainWrites(Tick when)
+{
+    if (writeBuffer_.empty())
+        return when;
+    ++drains_;
+    ovl_trace(dram, "drain: %zu writes at t=%llu", writeBuffer_.size(),
+              (unsigned long long)when);
+    // All buffered writes are issued to the banks at the drain start;
+    // bank conflicts and data-bus occupancy serialize them inside the
+    // DRAM model (this is FR-FCFS's point: drains pipeline across
+    // banks [34]).
+    Tick start = std::max(when, drainBusyUntil_);
+    Tick done = start;
+    for (Addr addr : writeBuffer_)
+        done = std::max(done, dram_.access(addr, true, start));
+    writeBuffer_.clear();
+    drainBusyUntil_ = done;
+    return done;
+}
+
+void
+DramController::resetTiming()
+{
+    drainWrites(drainBusyUntil_);
+    drainBusyUntil_ = 0;
+    dram_.resetTiming();
+}
+
+} // namespace ovl

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * DDR3-1066 main-memory timing model (Table 2): one channel, one rank,
+ * eight banks, 8 KB row buffer per bank, burst length 8 over an 8 B bus,
+ * open-row policy, FR-FCFS-style controller with a 64-entry write buffer
+ * that drains when full [34].
+ */
+
+#ifndef OVERLAYSIM_DRAM_DRAM_HH
+#define OVERLAYSIM_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace ovl
+{
+
+/**
+ * DDR3-1066 timing parameters expressed in DRAM command clocks, plus the
+ * CPU-clock multiplier. Defaults correspond to DDR3-1066 CL7 parts
+ * (JESD79-3F [28]) driven by a 2.67 GHz core: 2666 MHz / 533 MHz = 5 CPU
+ * cycles per DRAM clock.
+ */
+struct DramTimingParams
+{
+    unsigned cpuCyclesPerDramClock = 5;
+
+    unsigned tCL = 7;   ///< CAS latency (clocks)
+    unsigned tRCD = 7;  ///< RAS-to-CAS delay
+    unsigned tRP = 7;   ///< Row precharge
+    unsigned tRAS = 20; ///< Row active time (min open duration)
+    unsigned tWR = 8;   ///< Write recovery
+    unsigned burstLength = 8; ///< Beats per access; 8 beats x 8 B bus = 64 B
+
+    unsigned numBanks = 8;
+    Addr rowBufferBytes = 8 * 1024;
+
+    /** Fixed controller decode/queue overhead per request (CPU cycles). */
+    Tick controllerOverhead = 10;
+
+    /** Data-transfer clocks for one 64 B line: BL / 2 (double data rate). */
+    unsigned burstClocks() const { return burstLength / 2; }
+
+    Tick toCpu(unsigned dram_clocks) const
+    {
+        return Tick(dram_clocks) * cpuCyclesPerDramClock;
+    }
+};
+
+/**
+ * Per-bank state and row-buffer timing. Access categories follow the
+ * standard taxonomy: row hit (open row matches), row closed (bank idle,
+ * activate needed), row conflict (different row open: precharge then
+ * activate).
+ */
+class DramModel : public SimObject
+{
+  public:
+    DramModel(std::string name, DramTimingParams params);
+
+    /**
+     * Perform one 64 B access.
+     *
+     * @param line_addr physical (or overlay-store) address of the line.
+     * @param is_write true for a write burst.
+     * @param when earliest CPU cycle the command can issue.
+     * @return the CPU cycle at which the burst completes.
+     */
+    Tick access(Addr line_addr, bool is_write, Tick when);
+
+    /** Latency-only convenience: completion minus request time. */
+    Tick
+    accessLatency(Addr line_addr, bool is_write, Tick when)
+    {
+        return access(line_addr, is_write, when) - when;
+    }
+
+    const DramTimingParams &params() const { return params_; }
+
+    /**
+     * Forget in-flight timing state (banks/bus become idle). Used when an
+     * experiment phase boundary lets the machine go quiescent and the
+     * clock restarts from zero. Open-row state is kept.
+     */
+    void resetTiming();
+
+    /** Bank index of a line address (interleaved below the row bits). */
+    unsigned bankOf(Addr line_addr) const;
+
+    /** Row index of a line address within its bank. */
+    Addr rowOf(Addr line_addr) const;
+
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+    std::uint64_t rowClosed() const { return rowClosed_.value(); }
+    std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
+
+  private:
+    struct Bank
+    {
+        Addr openRow = kInvalidAddr;
+        Tick readyAt = 0;       ///< earliest next command issue time
+        Tick activatedAt = 0;   ///< for tRAS enforcement
+    };
+
+    DramTimingParams params_;
+    std::vector<Bank> banks_;
+    Tick busReadyAt_ = 0;
+
+    stats::Counter reads_;
+    stats::Counter writes_;
+    stats::Counter rowHits_;
+    stats::Counter rowClosed_;
+    stats::Counter rowConflicts_;
+};
+
+/**
+ * The write-buffer + scheduling front end of the memory controller
+ * (Table 2: "FR-FCFS drain when full, 64-entry write buffer"). Reads are
+ * serviced immediately unless a drain is in progress; writebacks are
+ * absorbed into the buffer and streamed to DRAM when it fills.
+ */
+class DramController : public SimObject
+{
+  public:
+    DramController(std::string name, DramTimingParams params,
+                   unsigned write_buffer_entries = 64);
+
+    /** Read one line; returns completion time. */
+    Tick read(Addr line_addr, Tick when);
+
+    /**
+     * Accept a writeback. Returns the (small) acceptance latency; the
+     * actual DRAM write happens during a later drain.
+     */
+    Tick enqueueWrite(Addr line_addr, Tick when);
+
+    /** Force all buffered writes to DRAM (checkpoint flushes use this). */
+    Tick drainWrites(Tick when);
+
+    /** Drain pending writes and reset all timing state (phase boundary). */
+    void resetTiming();
+
+    DramModel &dram() { return dram_; }
+
+    unsigned writeBufferOccupancy() const { return unsigned(writeBuffer_.size()); }
+    std::uint64_t drains() const { return drains_.value(); }
+
+  private:
+    DramModel dram_;
+    unsigned writeBufferEntries_;
+    std::vector<Addr> writeBuffer_;
+    Tick drainBusyUntil_ = 0;
+
+    stats::Counter readRequests_;
+    stats::Counter writeRequests_;
+    stats::Counter drains_;
+    stats::Counter readDrainStallCycles_;
+    stats::Histogram readLatency_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_DRAM_DRAM_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The hardware storage cost model of §4.5. Three sources of overhead:
+ * the OMT cache, the widened TLB entries (to hold the OBitVector), and
+ * the widened cache tags (the overlay address space makes the physical
+ * address wider). With the Table 2 configuration this reproduces the
+ * paper's 94.5 KB total: 4 KB + 8.5 KB + 82 KB.
+ */
+
+#ifndef OVERLAYSIM_OVERLAY_HW_COST_HH
+#define OVERLAYSIM_OVERLAY_HW_COST_HH
+
+#include <cstdint>
+
+namespace ovl
+{
+
+/** Inputs of the §4.5 cost accounting. */
+struct HwCostParams
+{
+    unsigned omtCacheEntries = 64;
+    unsigned omtCacheEntryBits = 512; ///< OPN 48 + OMSaddr 48 + OBV 64 +
+                                      ///< 64x5 pointers + 32 free bits
+    unsigned l1TlbEntries = 64;
+    unsigned l2TlbEntries = 1024;
+    unsigned obitvectorBits = 64;
+    unsigned extraTagBitsPerLine = 16; ///< physical-address widening
+    std::uint64_t l1Bytes = 64 * 1024;
+    std::uint64_t l2Bytes = 512 * 1024;
+    std::uint64_t l3Bytes = 2 * 1024 * 1024;
+    unsigned lineBytes = 64;
+};
+
+/** Derived per-structure and total costs, in bytes. */
+struct HwCost
+{
+    std::uint64_t omtCacheBytes = 0;
+    std::uint64_t tlbExtensionBytes = 0;
+    std::uint64_t cacheTagExtensionBytes = 0;
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return omtCacheBytes + tlbExtensionBytes + cacheTagExtensionBytes;
+    }
+};
+
+/** Evaluate the §4.5 model for @p p. */
+inline HwCost
+computeHwCost(const HwCostParams &p)
+{
+    HwCost cost;
+    cost.omtCacheBytes =
+        std::uint64_t(p.omtCacheEntries) * p.omtCacheEntryBits / 8;
+    cost.tlbExtensionBytes =
+        std::uint64_t(p.l1TlbEntries + p.l2TlbEntries) *
+        p.obitvectorBits / 8;
+    std::uint64_t lines = (p.l1Bytes + p.l2Bytes + p.l3Bytes) / p.lineBytes;
+    cost.cacheTagExtensionBytes = lines * p.extraTagBitsPerLine / 8;
+    return cost;
+}
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_OVERLAY_HW_COST_HH

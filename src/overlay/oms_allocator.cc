@@ -1,0 +1,106 @@
+#include "oms_allocator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+OmsAllocator::OmsAllocator(std::string name, OmsAllocatorParams params,
+                           std::function<Addr()> os_alloc_page)
+    : SimObject(std::move(name)), params_(params),
+      osAllocPage_(std::move(os_alloc_page)),
+      allocations_(&statGroup(), "allocations", "segments allocated"),
+      releases_(&statGroup(), "releases", "segments released"),
+      splits_(&statGroup(), "splits", "segments split to feed a class"),
+      coalesces_(&statGroup(), "coalesces", "buddy segments coalesced"),
+      osRefills_(&statGroup(), "osRefills", "page batches requested from OS"),
+      osBytesProvided_(&statGroup(), "osBytesProvided",
+                       "bytes the OS handed to the OMS"),
+      listTouches_(&statGroup(), "listTouches",
+                   "free-list memory-line touches")
+{
+    ovl_assert(osAllocPage_ != nullptr, "OMS allocator needs an OS hook");
+    for (unsigned i = 0; i < params_.startupPages; ++i) {
+        freeLists_[unsigned(SegClass::Seg4KB)].push_back(osAllocPage_());
+        osBytesProvided_ += kPageSize;
+    }
+}
+
+void
+OmsAllocator::refillFromOs()
+{
+    ++osRefills_;
+    for (unsigned i = 0; i < params_.refillPages; ++i) {
+        freeLists_[unsigned(SegClass::Seg4KB)].push_back(osAllocPage_());
+        osBytesProvided_ += kPageSize;
+    }
+}
+
+Addr
+OmsAllocator::allocate(SegClass cls)
+{
+    auto &list = freeLists_[unsigned(cls)];
+    if (list.empty()) {
+        if (cls == SegClass::Seg4KB) {
+            refillFromOs();
+        } else {
+            // Split one segment of the next larger class in two (§4.4.3).
+            Addr big = allocate(segClassNext(cls));
+            ++splits_;
+            listTouches_ += 2;
+            list.push_back(big + segClassBytes(cls));
+            ++allocations_;
+            return big;
+        }
+    }
+    ovl_assert(!list.empty(), "OMS allocator failed to refill");
+    Addr base = list.back();
+    list.pop_back();
+    ++allocations_;
+    ++listTouches_;
+    return base;
+}
+
+void
+OmsAllocator::release(Addr base, SegClass cls)
+{
+    freeLists_[unsigned(cls)].push_back(base);
+    ++releases_;
+    ++listTouches_;
+    if (params_.coalesce)
+        tryCoalesce(cls);
+}
+
+void
+OmsAllocator::tryCoalesce(SegClass cls)
+{
+    while (cls != SegClass::Seg4KB) {
+        auto &list = freeLists_[unsigned(cls)];
+        if (list.size() < 2)
+            return;
+        // The most recent release is the coalescing candidate.
+        Addr base = list.back();
+        Addr bytes = segClassBytes(cls);
+        Addr buddy = base ^ bytes;
+        auto it = std::find(list.begin(), list.end() - 1, buddy);
+        if (it == list.end() - 1)
+            return;
+        list.pop_back();
+        list.erase(it);
+        ++coalesces_;
+        listTouches_ += 2;
+        SegClass bigger = segClassNext(cls);
+        freeLists_[unsigned(bigger)].push_back(std::min(base, buddy));
+        cls = bigger;
+    }
+}
+
+std::size_t
+OmsAllocator::freeCount(SegClass cls) const
+{
+    return freeLists_[unsigned(cls)].size();
+}
+
+} // namespace ovl

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Free-space management for the Overlay Memory Store (§4.4.3): one free
+ * list per segment size class, maintained as grouped linked lists in OMS
+ * memory. When a class runs dry the allocator splits a segment of the
+ * next larger size in two; when even 4 KB segments run out it requests a
+ * batch of pages from the OS (the only OS interaction, §4.5).
+ */
+
+#ifndef OVERLAYSIM_OVERLAY_OMS_ALLOCATOR_HH
+#define OVERLAYSIM_OVERLAY_OMS_ALLOCATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "overlay/oms_segment.hh"
+#include "sim/sim_object.hh"
+
+namespace ovl
+{
+
+/** Tunables for the OMS allocator. */
+struct OmsAllocatorParams
+{
+    /** Pages the OS proactively hands the controller at startup (§4.4.3). */
+    unsigned startupPages = 64;
+    /** Pages requested per OS refill when the 4 KB list runs dry. */
+    unsigned refillPages = 64;
+    /**
+     * Optional buddy-style coalescing of free sibling segments back into
+     * larger ones. The paper only describes splitting; coalescing is the
+     * extension evaluated by bench/abl_segments.
+     */
+    bool coalesce = false;
+};
+
+/**
+ * Segment allocator over OS-provided 4 KB pages. Functionally the free
+ * lists are in-host vectors; the timing cost of list manipulation is
+ * charged by the OverlayManager (a grouped linked list touches O(1) lines
+ * per operation [46]).
+ */
+class OmsAllocator : public SimObject
+{
+  public:
+    /** @p os_alloc_page returns the main-memory address of a fresh page. */
+    OmsAllocator(std::string name, OmsAllocatorParams params,
+                 std::function<Addr()> os_alloc_page);
+
+    /**
+     * Allocate one segment of @p cls. Splits larger segments or requests
+     * OS pages as needed.
+     */
+    Addr allocate(SegClass cls);
+
+    /** Return a segment to the free list of its class. */
+    void release(Addr base, SegClass cls);
+
+    /** Number of free segments currently on the list of @p cls. */
+    std::size_t freeCount(SegClass cls) const;
+
+    /** Total bytes handed to the OMS by the OS so far. */
+    std::uint64_t osBytesProvided() const { return osBytesProvided_.value(); }
+
+    /** Memory accesses implied by free-list manipulation since creation. */
+    std::uint64_t listTouches() const { return listTouches_.value(); }
+
+  private:
+    void refillFromOs();
+    /** Try buddy coalescing after a release. */
+    void tryCoalesce(SegClass cls);
+
+    OmsAllocatorParams params_;
+    std::function<Addr()> osAllocPage_;
+    std::array<std::vector<Addr>, kNumSegClasses> freeLists_;
+
+    stats::Counter allocations_;
+    stats::Counter releases_;
+    stats::Counter splits_;
+    stats::Counter coalesces_;
+    stats::Counter osRefills_;
+    stats::Counter osBytesProvided_;
+    stats::Counter listTouches_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_OVERLAY_OMS_ALLOCATOR_HH

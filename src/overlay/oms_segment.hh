@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Overlay Memory Store segments (§4.4.1–§4.4.2, Figure 7). Each overlay
+ * lives in one of five fixed segment sizes (256 B … 4 KB). Segments
+ * smaller than 4 KB dedicate their first line to metadata: 64 five-bit
+ * slot pointers (one per cache line of the virtual page) plus a 32-bit
+ * free-slot vector — 352 bits total. A 4 KB segment stores each overlay
+ * line at its natural in-page offset and needs no metadata.
+ */
+
+#ifndef OVERLAYSIM_OVERLAY_OMS_SEGMENT_HH
+#define OVERLAYSIM_OVERLAY_OMS_SEGMENT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ovl
+{
+
+/** The five fixed segment size classes (§4.4.2). */
+enum class SegClass : std::uint8_t
+{
+    Seg256B = 0,
+    Seg512B = 1,
+    Seg1KB = 2,
+    Seg2KB = 3,
+    Seg4KB = 4,
+};
+
+constexpr unsigned kNumSegClasses = 5;
+
+/** Segment size in bytes. */
+constexpr Addr
+segClassBytes(SegClass cls)
+{
+    return Addr(256) << unsigned(cls);
+}
+
+/**
+ * Overlay-line capacity of a class: all lines minus the metadata line for
+ * sub-4 KB segments (so 3/7/15/31), all 64 lines for the 4 KB class.
+ */
+constexpr unsigned
+segClassCapacity(SegClass cls)
+{
+    unsigned lines = unsigned(segClassBytes(cls) / kLineSize);
+    return cls == SegClass::Seg4KB ? lines : lines - 1;
+}
+
+/** Smallest class able to hold @p num_lines overlay lines. */
+inline SegClass
+segClassFor(unsigned num_lines)
+{
+    ovl_assert(num_lines <= 64, "a page has at most 64 overlay lines");
+    for (unsigned c = 0; c < kNumSegClasses; ++c) {
+        if (segClassCapacity(SegClass(c)) >= num_lines)
+            return SegClass(c);
+    }
+    return SegClass::Seg4KB;
+}
+
+/** The next larger class; caller must not pass Seg4KB. */
+inline SegClass
+segClassNext(SegClass cls)
+{
+    ovl_assert(cls != SegClass::Seg4KB, "no class above 4 KB");
+    return SegClass(unsigned(cls) + 1);
+}
+
+/** Invalid slot-pointer sentinel (5-bit pointers: 0..30 are valid). */
+constexpr std::uint8_t kInvalidSlot = 0x1F;
+
+/**
+ * Per-segment metadata: the content of the segment's first cache line
+ * (Figure 7). Functionally mirrored here; the timing model charges one
+ * line access to read or update it in memory.
+ *
+ * Storage check against the paper: 64 pointers x 5 bits + 32-bit free
+ * vector = 352 bits, which fits in a 512-bit cache line.
+ */
+struct SegmentMeta
+{
+    /** slotOf[line_in_page] = slot index within the segment, or invalid. */
+    std::array<std::uint8_t, kLinesPerPage> slotOf;
+    /** Bit i set means slot i is free. Only capacity() low bits matter. */
+    std::uint32_t freeSlots = 0;
+
+    SegmentMeta() { slotOf.fill(kInvalidSlot); }
+
+    /** Initialize the free vector for a segment of @p cls. */
+    void
+    initFree(SegClass cls)
+    {
+        unsigned cap = segClassCapacity(cls);
+        freeSlots = cap >= 32 ? ~std::uint32_t(0)
+                              : ((std::uint32_t(1) << cap) - 1);
+    }
+
+    /** Allocate the lowest free slot; returns kInvalidSlot when full. */
+    std::uint8_t
+    allocSlot()
+    {
+        if (freeSlots == 0)
+            return kInvalidSlot;
+        unsigned slot = unsigned(__builtin_ctz(freeSlots));
+        freeSlots &= freeSlots - 1;
+        return std::uint8_t(slot);
+    }
+
+    void
+    freeSlot(std::uint8_t slot)
+    {
+        ovl_assert(slot < 32, "slot index out of 5-bit range");
+        freeSlots |= (std::uint32_t(1) << slot);
+    }
+};
+
+/**
+ * A live segment of the Overlay Memory Store: its location in the main
+ * memory address space, its size class, and (for sub-4 KB classes) its
+ * metadata line.
+ */
+struct OmsSegment
+{
+    Addr baseAddr = kInvalidAddr; ///< main-memory address of the segment
+    SegClass cls = SegClass::Seg256B;
+    SegmentMeta meta;
+
+    unsigned capacity() const { return segClassCapacity(cls); }
+    Addr bytes() const { return segClassBytes(cls); }
+
+    /** Main-memory address of the metadata line (first line). */
+    Addr metaLineAddr() const { return baseAddr; }
+
+    /**
+     * Main-memory address of the overlay line for in-page line index
+     * @p line_in_page. For 4 KB segments the offset is the in-page offset
+     * (§4.4.1); otherwise the slot pointer is consulted (slot s occupies
+     * the (s+1)-th line, after the metadata line).
+     */
+    Addr
+    lineAddr(unsigned line_in_page) const
+    {
+        ovl_assert(line_in_page < kLinesPerPage, "line index out of page");
+        if (cls == SegClass::Seg4KB)
+            return baseAddr + Addr(line_in_page) * kLineSize;
+        std::uint8_t slot = meta.slotOf[line_in_page];
+        ovl_assert(slot != kInvalidSlot, "line has no OMS slot");
+        return baseAddr + Addr(slot + 1) * kLineSize;
+    }
+
+    /** True if @p line_in_page has an allocated slot in this segment. */
+    bool
+    hasSlot(unsigned line_in_page) const
+    {
+        if (cls == SegClass::Seg4KB)
+            return true;
+        return meta.slotOf[line_in_page] != kInvalidSlot;
+    }
+
+    /** Number of allocated slots. */
+    unsigned
+    usedSlots() const
+    {
+        if (cls == SegClass::Seg4KB)
+            return kLinesPerPage;
+        unsigned used = 0;
+        for (std::uint8_t s : meta.slotOf)
+            used += (s != kInvalidSlot);
+        return used;
+    }
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_OVERLAY_OMS_SEGMENT_HH

@@ -1,0 +1,183 @@
+#include "omt.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+Omt::Omt(std::string name, std::function<Addr()> node_page_alloc)
+    : SimObject(std::move(name)), nodePageAlloc_(std::move(node_page_alloc)),
+      entriesCreated_(&statGroup(), "entriesCreated", "OMT entries created"),
+      entriesErased_(&statGroup(), "entriesErased", "OMT entries erased"),
+      nodeBytes_(&statGroup(), "nodeBytes", "bytes of OMT radix nodes")
+{
+    ovl_assert(nodePageAlloc_ != nullptr, "OMT needs a node allocator");
+}
+
+OmtEntry *
+Omt::find(Opn opn)
+{
+    auto it = table_.find(opn);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+const OmtEntry *
+Omt::find(Opn opn) const
+{
+    auto it = table_.find(opn);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+OmtEntry &
+Omt::findOrCreate(Opn opn)
+{
+    auto [it, inserted] = table_.try_emplace(opn);
+    if (inserted) {
+        ++entriesCreated_;
+        ensureNodePath(opn);
+    }
+    return it->second;
+}
+
+void
+Omt::erase(Opn opn)
+{
+    if (table_.erase(opn) > 0)
+        ++entriesErased_;
+}
+
+Addr
+Omt::nodeLineAddr(unsigned level, Opn opn, bool create)
+{
+    // Radix layout: level L is indexed by the OPN's top (L+1)*9 bits; each
+    // node is one page of 512 8-byte slots, so consecutive prefixes share
+    // node pages realistically.
+    constexpr unsigned kBitsPerLevel = 9;
+    unsigned shift = (kWalkLevels - 1 - level) * kBitsPerLevel;
+    std::uint64_t index = (opn >> shift);
+    std::uint64_t node_index = index >> kBitsPerLevel; // which node page
+    std::uint64_t slot = index & ((1u << kBitsPerLevel) - 1);
+
+    std::uint64_t key = (std::uint64_t(level) << 56) ^ node_index;
+    auto it = nodes_.find(key);
+    if (it == nodes_.end()) {
+        if (!create)
+            return kInvalidAddr;
+        it = nodes_.emplace(key, nodePageAlloc_()).first;
+        nodeBytes_ += kPageSize;
+    }
+    // 8-byte slots: 8 slots per 64 B line.
+    return it->second + roundDown(slot * 8, kLineSize);
+}
+
+void
+Omt::walkAddresses(Opn opn, std::vector<Addr> &out) const
+{
+    out.clear();
+    for (unsigned level = 0; level < kWalkLevels; ++level) {
+        Addr node = const_cast<Omt *>(this)->nodeLineAddr(level, opn,
+                                                          false);
+        if (node == kInvalidAddr)
+            break; // non-present level: the walk ends here
+        out.push_back(node);
+    }
+}
+
+void
+Omt::ensureNodePath(Opn opn)
+{
+    for (unsigned level = 0; level < kWalkLevels; ++level)
+        nodeLineAddr(level, opn, true);
+}
+
+OmtCache::OmtCache(std::string name, OmtCacheParams params)
+    : SimObject(std::move(name)), params_(params),
+      numSets_(params.entries / params.associativity),
+      ways_(params.entries),
+      hits_(&statGroup(), "hits", "OMT cache hits"),
+      misses_(&statGroup(), "misses", "OMT cache misses (table walks)"),
+      writebacks_(&statGroup(), "writebacks", "modified entries evicted")
+{
+    ovl_assert(params.entries % params.associativity == 0,
+               "OMT cache entries must divide evenly into sets");
+    ovl_assert(isPowerOf2(numSets_), "OMT cache set count must be 2^n");
+}
+
+OmtCache::Way *
+OmtCache::findWay(Opn opn)
+{
+    Way *set = &ways_[std::size_t(setOf(opn)) * params_.associativity];
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        if (set[w].valid && set[w].opn == opn)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const OmtCache::Way *
+OmtCache::findWay(Opn opn) const
+{
+    return const_cast<OmtCache *>(this)->findWay(opn);
+}
+
+OmtCache::LookupResult
+OmtCache::lookupAllocate(Opn opn)
+{
+    if (Way *way = findWay(opn)) {
+        ++hits_;
+        way->lruSeq = ++lruCounter_;
+        return LookupResult{true, kInvalidAddr, false};
+    }
+
+    ++misses_;
+    Way *set = &ways_[std::size_t(setOf(opn)) * params_.associativity];
+    Way *victim = &set[0];
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lruSeq < victim->lruSeq)
+            victim = &set[w];
+    }
+
+    LookupResult res;
+    if (victim->valid && victim->modified) {
+        res.writebackOpn = victim->opn;
+        res.needsWriteback = true;
+        ++writebacks_;
+    }
+    victim->valid = true;
+    victim->modified = false;
+    victim->opn = opn;
+    victim->lruSeq = ++lruCounter_;
+    return res;
+}
+
+void
+OmtCache::markModified(Opn opn)
+{
+    if (Way *way = findWay(opn))
+        way->modified = true;
+}
+
+bool
+OmtCache::invalidate(Opn opn)
+{
+    if (Way *way = findWay(opn)) {
+        bool was_modified = way->modified;
+        way->valid = false;
+        way->modified = false;
+        return was_modified;
+    }
+    return false;
+}
+
+bool
+OmtCache::isPresent(Opn opn) const
+{
+    return findWay(opn) != nullptr;
+}
+
+} // namespace ovl

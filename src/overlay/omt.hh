@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The Overlay Mapping Table (§4.2, §4.4.4) and the memory-controller OMT
+ * cache (Figure 6, item 2). The OMT maps each overlay page number (OPN)
+ * to its OBitVector and the Overlay Memory Store segment holding the
+ * overlay. It is stored hierarchically in main memory, like a page table,
+ * and is walked by the memory controller; the 64-entry OMT cache holds
+ * recently used entries together with their segment metadata.
+ */
+
+#ifndef OVERLAYSIM_OVERLAY_OMT_HH
+#define OVERLAYSIM_OVERLAY_OMT_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector64.hh"
+#include "common/types.hh"
+#include "overlay/oms_segment.hh"
+#include "overlay/overlay_addr.hh"
+#include "sim/sim_object.hh"
+
+namespace ovl
+{
+
+/**
+ * One OMT entry: the OBitVector of the overlay page, and (once the first
+ * dirty line has been written back) the OMS segment storing it. Segment
+ * metadata (slot pointers, free vector) lives in the segment's first line
+ * in memory; it is mirrored here and cached alongside the entry in the
+ * OMT cache (§4.4.4).
+ */
+struct OmtEntry
+{
+    BitVector64 obv;
+    bool hasSegment = false;
+    OmsSegment seg;
+};
+
+/**
+ * Functional container plus radix-layout model of the OMT. The table is
+ * laid out as a 4-level radix tree over the OPN; each level's node
+ * occupies memory provided by the node allocator so that walks touch
+ * realistic DRAM addresses.
+ */
+class Omt : public SimObject
+{
+  public:
+    /** Number of radix levels walked on an OMT-cache miss. */
+    static constexpr unsigned kWalkLevels = 4;
+
+    /** @p node_page_alloc provides pages to hold table nodes. */
+    Omt(std::string name, std::function<Addr()> node_page_alloc);
+
+    /** Find an entry; nullptr when the OPN has no overlay. */
+    OmtEntry *find(Opn opn);
+    const OmtEntry *find(Opn opn) const;
+
+    /** Find-or-create the entry for @p opn. */
+    OmtEntry &findOrCreate(Opn opn);
+
+    /** Remove an entry (overlay discarded/committed, §4.3.4). */
+    void erase(Opn opn);
+
+    std::size_t size() const { return table_.size(); }
+
+    /**
+     * Main-memory line addresses touched by a table walk for @p opn, in
+     * dependence order (one node line per level). The walk descends only
+     * nodes that exist: like a page-table walk, it terminates at the
+     * first non-present level, so looking up an OPN with no overlay is
+     * cheap. Walks never allocate nodes; node allocation happens when an
+     * entry is created (see ensureNodePath()).
+     */
+    void walkAddresses(Opn opn, std::vector<Addr> &out) const;
+
+    /** Materialize the radix path for @p opn (entry creation/update). */
+    void ensureNodePath(Opn opn);
+
+    /** Memory footprint of all allocated table nodes, in bytes. */
+    std::uint64_t nodeBytes() const { return nodeBytes_.value(); }
+
+  private:
+    /** Node line for (level, opn); kInvalidAddr when absent and !create. */
+    Addr nodeLineAddr(unsigned level, Opn opn, bool create);
+
+    std::function<Addr()> nodePageAlloc_;
+    std::unordered_map<Opn, OmtEntry> table_;
+    /** (level, index-prefix) -> node base address. */
+    std::unordered_map<std::uint64_t, Addr> nodes_;
+
+    stats::Counter entriesCreated_;
+    stats::Counter entriesErased_;
+    stats::Counter nodeBytes_;
+};
+
+/** OMT-cache configuration (Table 2: 64 entries; §4.5 sizes each at 512 b). */
+struct OmtCacheParams
+{
+    unsigned entries = 64;
+    unsigned associativity = 4;
+    /** Lookup latency in CPU cycles (small controller SRAM). */
+    Tick hitLatency = 4;
+    /**
+     * Flat cost of a miss (the hierarchical OMT walk + segment-metadata
+     * read). Table 2 charges "miss latency = 1000 cycles", mirroring the
+     * flat TLB-walk cost.
+     */
+    Tick missLatency = 1000;
+};
+
+/**
+ * The memory controller's cache of OMT entries. Tracks which cached
+ * entries have been modified so that the dirty OMT state is written back
+ * on eviction (§4.4.4). Stores only OPN tags; entry payloads stay in the
+ * functional Omt.
+ */
+class OmtCache : public SimObject
+{
+  public:
+    OmtCache(std::string name, OmtCacheParams params);
+
+    /** Result of a lookup-allocate. */
+    struct LookupResult
+    {
+        bool hit = false;
+        /** OPN of a modified entry displaced by the fill, if any. */
+        Opn writebackOpn = kInvalidAddr;
+        bool needsWriteback = false;
+    };
+
+    /** Look up @p opn, allocating it (possibly evicting) on a miss. */
+    LookupResult lookupAllocate(Opn opn);
+
+    /** Mark the cached copy of @p opn modified (OBitVector/slot update). */
+    void markModified(Opn opn);
+
+    /** Drop @p opn if cached; returns true if it was modified. */
+    bool invalidate(Opn opn);
+
+    /** Tag probe without replacement update. */
+    bool isPresent(Opn opn) const;
+
+    const OmtCacheParams &params() const { return params_; }
+
+    /** SRAM cost of the cache: entries x 512 bits (§4.5). */
+    std::uint64_t storageBits() const { return std::uint64_t(params_.entries) * 512; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool modified = false;
+        Opn opn = kInvalidAddr;
+        std::uint64_t lruSeq = 0;
+    };
+
+    unsigned setOf(Opn opn) const { return unsigned(opn) & (numSets_ - 1); }
+    Way *findWay(Opn opn);
+    const Way *findWay(Opn opn) const;
+
+    OmtCacheParams params_;
+    unsigned numSets_;
+    std::vector<Way> ways_;
+    std::uint64_t lruCounter_ = 0;
+
+    stats::Counter hits_;
+    stats::Counter misses_;
+    stats::Counter writebacks_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_OVERLAY_OMT_HH

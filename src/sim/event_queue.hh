@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic discrete-event queue. The performance-critical access path
+ * of overlaysim is modeled with computed latencies (see DESIGN.md §5), but
+ * background activities — write-buffer drains, OMS maintenance, checkpoint
+ * ticks — are scheduled here.
+ */
+
+#ifndef OVERLAYSIM_SIM_EVENT_QUEUE_HH
+#define OVERLAYSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ovl
+{
+
+/**
+ * A time-ordered queue of callbacks. Ties are broken by insertion order so
+ * simulation is deterministic regardless of heap internals.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Advance the clock without executing events (used by the core model). */
+    void
+    setNow(Tick t)
+    {
+        ovl_assert(t >= now_, "time must not move backwards");
+        now_ = t;
+    }
+
+    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        ovl_assert(when >= now_, "scheduling an event in the past");
+        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Time of the earliest pending event; kMaxTick when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? kMaxTick : heap_.top().when;
+    }
+
+    /**
+     * Execute all events with time <= @p until, advancing the clock to
+     * each event's time, then to @p until.
+     */
+    void
+    runUntil(Tick until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until) {
+            Event ev = heap_.top();
+            heap_.pop();
+            now_ = ev.when;
+            ev.cb(now_);
+        }
+        if (until > now_)
+            now_ = until;
+    }
+
+    /** Execute every pending event (including ones newly scheduled). */
+    void
+    drain()
+    {
+        while (!heap_.empty())
+            runUntil(heap_.top().when);
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Base class for every named, stat-bearing component of the simulated
+ * system (caches, TLBs, DRAM controller, overlay manager, cores, ...).
+ */
+
+#ifndef OVERLAYSIM_SIM_SIM_OBJECT_HH
+#define OVERLAYSIM_SIM_SIM_OBJECT_HH
+
+#include <ostream>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace ovl
+{
+
+/**
+ * A SimObject has a hierarchical dotted name (e.g. "system.l2") and a
+ * statistics group carrying the same name. Components are wired together
+ * by plain pointers/references owned by the enclosing System.
+ */
+class SimObject
+{
+  public:
+    explicit SimObject(std::string name)
+        : name_(std::move(name)), statGroup_(name_)
+    {
+    }
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    stats::Group &statGroup() { return statGroup_; }
+    const stats::Group &statGroup() const { return statGroup_; }
+
+    /** Dump this object's statistics. */
+    void dumpStats(std::ostream &os) const { statGroup_.dump(os); }
+
+    /** Reset this object's statistics (e.g., after cache warmup). */
+    virtual void resetStats() { statGroup_.resetStats(); }
+
+  private:
+    std::string name_;
+    stats::Group statGroup_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_SIM_SIM_OBJECT_HH

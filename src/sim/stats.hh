@@ -1,0 +1,179 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package: scalar counters, distribution
+ * histograms, and formula (derived) statistics, grouped per SimObject and
+ * dumpable as text.
+ */
+
+#ifndef OVERLAYSIM_SIM_STATS_HH
+#define OVERLAYSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ovl::stats
+{
+
+class Group;
+
+/** Base class for anything registered in a stats Group. */
+class Info
+{
+  public:
+    Info(Group *parent, std::string name, std::string desc);
+    virtual ~Info() = default;
+
+    Info(const Info &) = delete;
+    Info &operator=(const Info &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print one or more `name value # desc` lines. */
+    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Print the stat's JSON value (number or object), no key. */
+    virtual void dumpJsonValue(std::ostream &os) const = 0;
+
+    /** Reset to the zero state (counters to 0, histograms emptied). */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonically increasing scalar statistic. */
+class Counter : public Info
+{
+  public:
+    Counter(Group *parent, std::string name, std::string desc)
+        : Info(parent, std::move(name), std::move(desc))
+    {
+    }
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJsonValue(std::ostream &os) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Scalar statistic that can move in either direction (e.g., occupancy). */
+class Gauge : public Info
+{
+  public:
+    Gauge(Group *parent, std::string name, std::string desc)
+        : Info(parent, std::move(name), std::move(desc))
+    {
+    }
+
+    Gauge &operator+=(std::int64_t v) { value_ += v; return *this; }
+    Gauge &operator-=(std::int64_t v) { value_ -= v; return *this; }
+    void set(std::int64_t v) { value_ = v; }
+
+    std::int64_t value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJsonValue(std::ostream &os) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::int64_t value_ = 0;
+};
+
+/**
+ * Linear-bucket histogram over [0, max) with an overflow bucket; tracks
+ * sample count, sum, min and max so means are exact even when bucketing
+ * is coarse.
+ */
+class Histogram : public Info
+{
+  public:
+    Histogram(Group *parent, std::string name, std::string desc,
+              std::uint64_t bucket_width, unsigned num_buckets);
+
+    void sample(std::uint64_t value);
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t minValue() const { return min_; }
+    std::uint64_t maxValue() const { return max_; }
+    double mean() const { return samples_ ? double(sum_) / double(samples_) : 0.0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJsonValue(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
+};
+
+/** Derived statistic evaluated lazily at dump time. */
+class Formula : public Info
+{
+  public:
+    Formula(Group *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : Info(parent, std::move(name), std::move(desc)), fn_(std::move(fn))
+    {
+    }
+
+    double value() const { return fn_(); }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJsonValue(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named group of statistics. SimObject owns one; techniques and
+ * experiment harnesses may create free-standing groups.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    void registerInfo(Info *info) { infos_.push_back(info); }
+
+    /** Dump every registered stat as `group.stat value # desc`. */
+    void dump(std::ostream &os) const;
+
+    /** Dump as one JSON object: {"stat": value, ...}. */
+    void dumpJson(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetStats();
+
+  private:
+    std::string name_;
+    std::vector<Info *> infos_;
+};
+
+} // namespace ovl::stats
+
+#endif // OVERLAYSIM_SIM_STATS_HH

@@ -1,0 +1,71 @@
+#include "csr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+CsrMatrix
+CsrMatrix::fromCoo(const CooMatrix &coo)
+{
+    CsrMatrix csr;
+    csr.rows_ = coo.rows;
+    csr.cols_ = coo.cols;
+    csr.rowPtr_.assign(std::size_t(coo.rows) + 1, 0);
+    csr.values_.reserve(coo.entries.size());
+    csr.colIdx_.reserve(coo.entries.size());
+
+    std::uint32_t prev_row = 0;
+    for (const CooEntry &e : coo.entries) {
+        if (e.value == 0.0)
+            continue;
+        ovl_assert(e.row >= prev_row, "COO matrix must be canonicalized");
+        while (prev_row < e.row)
+            csr.rowPtr_[++prev_row] = std::uint32_t(csr.values_.size());
+        csr.values_.push_back(e.value);
+        csr.colIdx_.push_back(e.col);
+    }
+    while (prev_row < coo.rows)
+        csr.rowPtr_[++prev_row] = std::uint32_t(csr.values_.size());
+    return csr;
+}
+
+std::vector<double>
+CsrMatrix::spmv(const std::vector<double> &x) const
+{
+    ovl_assert(x.size() >= cols_, "x vector too short");
+    std::vector<double> y(rows_, 0.0);
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::uint32_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
+            acc += values_[i] * x[colIdx_[i]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::uint64_t
+CsrMatrix::insert(std::uint32_t row, std::uint32_t col, double value)
+{
+    ovl_assert(row < rows_ && col < cols_, "insert out of bounds");
+    std::uint32_t begin = rowPtr_[row];
+    std::uint32_t end = rowPtr_[row + 1];
+    auto it = std::lower_bound(colIdx_.begin() + begin,
+                               colIdx_.begin() + end, col);
+    std::size_t pos = std::size_t(it - colIdx_.begin());
+    if (it != colIdx_.begin() + end && *it == col) {
+        values_[pos] = value; // in-place update: cheap
+        return 0;
+    }
+    // Structural insert: shift the tails of both arrays and bump every
+    // later row pointer. This is the costly dynamic update (§5.2).
+    colIdx_.insert(colIdx_.begin() + pos, col);
+    values_.insert(values_.begin() + pos, value);
+    for (std::uint32_t r = row + 1; r <= rows_; ++r)
+        ++rowPtr_[r];
+    return (values_.size() - pos) + (rows_ - row);
+}
+
+} // namespace ovl

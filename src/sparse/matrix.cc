@@ -1,0 +1,67 @@
+#include "matrix.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+void
+CooMatrix::canonicalize()
+{
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const CooEntry &a, const CooEntry &b) {
+                         if (a.row != b.row)
+                             return a.row < b.row;
+                         return a.col < b.col;
+                     });
+    // Keep the last of each duplicate coordinate.
+    auto out = entries.begin();
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+        auto next = it + 1;
+        if (next != entries.end() && next->row == it->row &&
+            next->col == it->col) {
+            continue;
+        }
+        *out++ = *it;
+    }
+    entries.erase(out, entries.end());
+}
+
+MatrixStats
+analyzeMatrix(const CooMatrix &coo, std::uint64_t block_bytes)
+{
+    ovl_assert(isPowerOf2(block_bytes), "block size must be a power of two");
+    DenseLayout layout(coo.rows, coo.cols);
+    std::unordered_set<std::uint64_t> blocks;
+    blocks.reserve(coo.entries.size());
+    for (const CooEntry &e : coo.entries) {
+        if (e.value == 0.0)
+            continue;
+        blocks.insert(layout.offsetOf(e.row, e.col) / block_bytes);
+    }
+    MatrixStats stats;
+    stats.nnz = 0;
+    for (const CooEntry &e : coo.entries)
+        stats.nnz += (e.value != 0.0);
+    stats.nonZeroBlocks = blocks.size();
+    stats.locality = stats.nonZeroBlocks == 0
+                         ? 0.0
+                         : double(stats.nnz) / double(stats.nonZeroBlocks);
+    return stats;
+}
+
+std::vector<double>
+spmvReference(const CooMatrix &coo, const std::vector<double> &x)
+{
+    ovl_assert(x.size() >= coo.cols, "x vector too short");
+    std::vector<double> y(coo.rows, 0.0);
+    for (const CooEntry &e : coo.entries)
+        y[e.row] += e.value * x[e.col];
+    return y;
+}
+
+} // namespace ovl

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Sparse-matrix building blocks for §5.2: a COO builder, the dense
+ * row-major layout used by the overlay representation, and the matrix
+ * statistics the paper's analysis is organized around — most importantly
+ * the non-zero value locality L (average number of non-zero values per
+ * non-zero cache line).
+ */
+
+#ifndef OVERLAYSIM_SPARSE_MATRIX_HH
+#define OVERLAYSIM_SPARSE_MATRIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ovl
+{
+
+/** One non-zero entry. */
+struct CooEntry
+{
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;
+    double value = 0.0;
+};
+
+/** Coordinate-format builder: the neutral exchange format. */
+struct CooMatrix
+{
+    std::string name;
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<CooEntry> entries;
+
+    std::uint64_t nnz() const { return entries.size(); }
+
+    /** Sort entries into row-major order and drop duplicates (keep last). */
+    void canonicalize();
+};
+
+/**
+ * The dense row-major layout shared by the dense baseline and the
+ * overlay representation: 8-byte values, with the row stride padded to a
+ * whole number of cache lines so that a line never straddles two rows
+ * (this is what lets the hardware walk the OBitVector line by line and
+ * know which columns of x each line needs).
+ */
+struct DenseLayout
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::uint32_t paddedCols = 0; ///< cols rounded up to 8 (one line)
+
+    static constexpr unsigned kValuesPerLine = unsigned(kLineSize / 8);
+
+    explicit DenseLayout(std::uint32_t r = 0, std::uint32_t c = 0)
+        : rows(r), cols(c),
+          paddedCols((c + kValuesPerLine - 1) / kValuesPerLine *
+                     kValuesPerLine)
+    {
+    }
+
+    /** Byte offset of element (r, c) from the matrix base. */
+    std::uint64_t
+    offsetOf(std::uint32_t r, std::uint32_t c) const
+    {
+        return (std::uint64_t(r) * paddedCols + c) * 8;
+    }
+
+    /** Total bytes of the dense layout (what the dense baseline stores). */
+    std::uint64_t bytes() const
+    {
+        return std::uint64_t(rows) * paddedCols * 8;
+    }
+
+    /** Line index (from base) of element (r, c). */
+    std::uint64_t
+    lineOf(std::uint32_t r, std::uint32_t c) const
+    {
+        return offsetOf(r, c) / kLineSize;
+    }
+};
+
+/** Statistics of a matrix under a given block granularity. */
+struct MatrixStats
+{
+    std::uint64_t nnz = 0;
+    std::uint64_t nonZeroBlocks = 0; ///< blocks containing >= 1 non-zero
+    double locality = 0.0;           ///< nnz / nonZeroBlocks (L for 64 B)
+};
+
+/**
+ * Count the blocks of @p block_bytes (a power of two) that contain at
+ * least one non-zero under the dense layout, and derive L. With
+ * block_bytes = 64 this is the paper's non-zero value locality; with
+ * 4096 it is the page-granularity figure of the Figure 11 sweep.
+ */
+MatrixStats analyzeMatrix(const CooMatrix &coo, std::uint64_t block_bytes);
+
+/** Reference SpMV on COO: y = A * x (y sized to rows, zero-filled). */
+std::vector<double> spmvReference(const CooMatrix &coo,
+                                  const std::vector<double> &x);
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_SPARSE_MATRIX_HH

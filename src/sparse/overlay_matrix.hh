@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The paper's hardware sparse-matrix representation (§5.2): every virtual
+ * page of the (conceptually dense) matrix maps to the shared zero
+ * physical page, and each page's overlay holds exactly its non-zero cache
+ * lines. Dense-matrix code runs unmodified on top; hardware skips the
+ * zero lines by walking the OBitVector.
+ */
+
+#ifndef OVERLAYSIM_SPARSE_OVERLAY_MATRIX_HH
+#define OVERLAYSIM_SPARSE_OVERLAY_MATRIX_HH
+
+#include <cstdint>
+
+#include "sparse/matrix.hh"
+#include "system/system.hh"
+
+namespace ovl
+{
+
+/** A sparse matrix stored in page overlays of a simulated System. */
+class OverlayMatrix
+{
+  public:
+    /**
+     * @param base virtual base address of the matrix; page aligned.
+     */
+    OverlayMatrix(System &system, Asid asid, Addr base);
+
+    /**
+     * Map the address range, store the non-zero values, and materialize
+     * the Overlay Memory Store segments (as dirty lines would on
+     * eviction). Build-time activity should be excluded from experiment
+     * stats by the caller (resetStats()).
+     */
+    void build(const CooMatrix &coo);
+
+    /** Read one element through the overlay access semantics. */
+    double at(std::uint32_t row, std::uint32_t col) const;
+
+    /**
+     * Dynamic update: set element (row, col) to @p value with full
+     * timing. For a line already in the overlay this is a simple write;
+     * for a new line it is one overlaying write — no array shifting,
+     * unlike CSR::insert (§5.2).
+     *
+     * @return completion time.
+     */
+    Tick insert(std::uint32_t row, std::uint32_t col, double value,
+                Tick when);
+
+    /**
+     * Dynamic deletion: zero element (row, col); if its whole line is
+     * now zero the line is unmapped and its OMS slot reclaimed — the
+     * cheap structural delete CSR lacks.
+     *
+     * @return completion time.
+     */
+    Tick remove(std::uint32_t row, std::uint32_t col, Tick when);
+
+    /**
+     * Bytes consumed by this matrix's representation: OMS segments plus
+     * OMT radix nodes created during build().
+     */
+    std::uint64_t storedBytes() const { return storedBytes_; }
+
+    const DenseLayout &layout() const { return layout_; }
+    Addr base() const { return base_; }
+    Asid asid() const { return asid_; }
+
+    /** Virtual address of element (row, col). */
+    Addr
+    addrOf(std::uint32_t row, std::uint32_t col) const
+    {
+        return base_ + layout_.offsetOf(row, col);
+    }
+
+  private:
+    System &system_;
+    Asid asid_;
+    Addr base_;
+    DenseLayout layout_;
+    std::uint64_t storedBytes_ = 0;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_SPARSE_OVERLAY_MATRIX_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Whole-system configuration, defaulting to Table 2 of the paper plus
+ * the OS-cost constants the paper leaves implicit (each with a rationale
+ * and an ablation bench; see DESIGN.md §3.3).
+ */
+
+#ifndef OVERLAYSIM_SYSTEM_CONFIG_HH
+#define OVERLAYSIM_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "common/types.hh"
+#include "dram/dram.hh"
+#include "overlay/overlay_manager.hh"
+#include "tlb/tlb.hh"
+
+namespace ovl
+{
+
+/** Configuration of the simulated machine (defaults = Table 2). */
+struct SystemConfig
+{
+    std::string name = "system";
+
+    /** Core: 2.67 GHz, single issue, 64-entry instruction window. */
+    double coreGhz = 2.67;
+    unsigned issueWidth = 1;
+    unsigned instructionWindow = 64;
+
+    std::uint64_t memCapacityBytes = 4ull << 30;
+
+    DramTimingParams dram{};
+    unsigned writeBufferEntries = 64;
+
+    HierarchyParams caches{};
+    TlbHierarchyParams tlb{};
+    OverlayManagerParams overlay{};
+
+    /** Number of TLBs kept coherent (cores); the evaluations use 1. */
+    unsigned numTlbs = 1;
+
+    // ----- OS/coherence cost constants (not in Table 2; see DESIGN.md) --
+
+    /**
+     * Trap into the OS page-fault handler and back. HP-UX-class kernels
+     * measure fork/fault software paths in the low thousands of cycles
+     * [41]; 1500 cycles is the handler-entry/exit share.
+     */
+    Tick pageFaultTrapCycles = 1500;
+
+    /**
+     * Remote TLB shootdown for one page remap: IPI + handler on each
+     * core [6, 52]; DiDi [54] reports multi-microsecond worst cases.
+     * Charged as base + per-TLB cost.
+     */
+    Tick tlbShootdownBaseCycles = 3000;
+    Tick tlbShootdownPerTlbCycles = 1000;
+
+    /**
+     * One `overlaying read exclusive` coherence message (§4.3.3): a
+     * coherence-network broadcast that must be acknowledged by every
+     * TLB before the write proceeds — an L3/directory-class round trip
+     * plus snoop-ack collection.
+     */
+    Tick oreMessageCycles = 160;
+
+    /**
+     * Overlay promotion policy (§4.3.4): when an overlay accumulates at
+     * least this many lines, the OS converts it to a regular page via
+     * copy-and-commit. 64 disables promotion (an overlay can hold all 64
+     * lines, at which point it occupies a full 4 KB segment anyway).
+     */
+    unsigned promoteThresholdLines = 64;
+
+    /** Global switch: overlays off = baseline machine (§3.3 opt-in). */
+    bool overlaysEnabled = true;
+
+    Tick tlbShootdownCycles() const
+    {
+        return tlbShootdownBaseCycles +
+               Tick(numTlbs) * tlbShootdownPerTlbCycles;
+    }
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_SYSTEM_CONFIG_HH

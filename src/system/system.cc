@@ -1,0 +1,845 @@
+#include "system.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/debug.hh"
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+OverlayAwareMemController::OverlayAwareMemController(std::string name,
+                                                     DramController &dram,
+                                                     OverlayManager &ovm)
+    : SimObject(std::move(name)), dram_(dram), ovm_(ovm),
+      regularReads_(&statGroup(), "regularReads", "regular DRAM line reads"),
+      regularWritebacks_(&statGroup(), "regularWritebacks",
+                         "regular DRAM line writebacks"),
+      overlayReads_(&statGroup(), "overlayReads", "overlay line reads"),
+      overlayWritebacks_(&statGroup(), "overlayWritebacks",
+                         "overlay line writebacks"),
+      droppedPrefetches_(&statGroup(), "droppedPrefetches",
+                         "prefetches of unmapped overlay lines dropped")
+{
+}
+
+Tick
+OverlayAwareMemController::readLine(Addr line_addr, Tick when)
+{
+    if (overlay_addr::isOverlay(line_addr)) {
+        Opn opn = line_addr >> kPageShift;
+        unsigned line = lineInPage(line_addr);
+        if (!ovm_.obitvector(opn).test(line)) {
+            // Only the prefetcher generates reads of unmapped overlay
+            // lines; the controller squashes them after the OMT check.
+            ++droppedPrefetches_;
+            return ovm_.omtAccess(opn, when);
+        }
+        ++overlayReads_;
+        return ovm_.readLine(line_addr, when);
+    }
+    ++regularReads_;
+    return dram_.read(line_addr, when);
+}
+
+Tick
+OverlayAwareMemController::writebackLine(Addr line_addr, Tick when)
+{
+    if (overlay_addr::isOverlay(line_addr)) {
+        ++overlayWritebacks_;
+        return ovm_.writebackLine(line_addr, when);
+    }
+    ++regularWritebacks_;
+    return dram_.enqueueWrite(line_addr, when);
+}
+
+System::System(SystemConfig config)
+    : SimObject(config.name), config_(std::move(config)),
+      physMem_(name() + ".physMem", config_.memCapacityBytes),
+      vmm_(name() + ".vmm", physMem_),
+      dramCtrl_(name() + ".dramCtrl", config_.dram,
+                config_.writeBufferEntries),
+      overlayMgr_(name() + ".overlay", config_.overlay, dramCtrl_,
+                  [this] {
+                      omsBackingBytes_ += kPageSize;
+                      return physMem_.allocFrame() << kPageShift;
+                  }),
+      memCtrl_(name() + ".memCtrl", dramCtrl_, overlayMgr_),
+      caches_(name() + ".caches", config_.caches, memCtrl_),
+      accesses_(&statGroup(), "accesses", "memory accesses"),
+      tlbWalks_(&statGroup(), "tlbWalks", "page-table walks"),
+      cowFaults_(&statGroup(), "cowFaults", "copy-on-write faults"),
+      cowLinesCopied_(&statGroup(), "cowLinesCopied",
+                      "lines copied by CoW faults"),
+      overlayingWrites_(&statGroup(), "overlayingWrites",
+                        "overlaying writes (lines moved to overlays)"),
+      simpleOverlayWrites_(&statGroup(), "simpleOverlayWrites",
+                           "writes to lines already in an overlay"),
+      overlayLineReads_(&statGroup(), "overlayLineReads",
+                        "reads serviced from overlays"),
+      promotions_(&statGroup(), "promotions",
+                  "overlays promoted to regular pages"),
+      forkPagesShared_(&statGroup(), "forkPagesShared",
+                       "pages marked CoW/OoW by fork"),
+      forkOverlayLinesCopied_(&statGroup(), "forkOverlayLinesCopied",
+                              "overlay lines copied at fork (§4.1)")
+{
+    for (unsigned i = 0; i < config_.numTlbs; ++i) {
+        tlbs_.push_back(std::make_unique<TwoLevelTlb>(
+            name() + ".tlb" + std::to_string(i), config_.tlb));
+    }
+    markMemoryBaseline();
+}
+
+// --------------------------- translation ------------------------------
+
+TlbEntryData *
+System::translate(Asid asid, Addr vpn, Tick &t, AccessOutcome *outcome,
+                  unsigned core)
+{
+    ovl_assert(core < tlbs_.size(), "no such core/TLB");
+    TlbAccessResult tr = tlbs_[core]->access(asid, vpn);
+    t += tr.latency;
+    if (!tr.needsWalk)
+        return tr.entry;
+
+    ++tlbWalks_;
+    if (outcome)
+        outcome->tlbWalk = true;
+    Pte *pte = vmm_.resolve(asid, vpn);
+    if (pte == nullptr || !pte->present) {
+        ovl_fatal("access to unmapped page: asid=%u vpn=%llx",
+                  unsigned(asid), (unsigned long long)vpn);
+    }
+    TlbEntryData data;
+    data.ppn = pte->ppn;
+    data.writable = pte->writable;
+    data.cow = pte->cow;
+    data.overlayEnabled = pte->overlayEnabled;
+    data.metadataMode = pte->metadataMode;
+    if (pte->overlayEnabled && config_.overlaysEnabled) {
+        // The TLB fill also fetches the OBitVector from the OMT (§4.3).
+        // Because the virtual-to-overlay mapping is direct (§4.1), the
+        // OPN is known without the translation, so the OMT access runs
+        // in parallel with the page-table walk; the fill completes at
+        // the later of the two.
+        Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+        Tick walk_started = t - config_.tlb.walkLatency;
+        Tick omt_done = overlayMgr_.omtAccess(opn, walk_started);
+        t = std::max(t, omt_done);
+        data.obv = overlayMgr_.obitvector(opn);
+    }
+    return tlbs_[core]->fill(asid, vpn, data);
+}
+
+// ------------------------- the access path ----------------------------
+
+Tick
+System::access(Asid asid, Addr vaddr, bool is_write, Tick when,
+               AccessOutcome *outcome, unsigned core)
+{
+    ++accesses_;
+    AccessOutcome local;
+    if (outcome == nullptr)
+        outcome = &local;
+    *outcome = AccessOutcome{};
+
+    Addr vpn = pageNumber(vaddr);
+    unsigned line = lineInPage(vaddr);
+    Tick t = when;
+    TlbEntryData *entry = translate(asid, vpn, t, outcome, core);
+
+    if (is_write && entry->cow) {
+        bool use_overlay = entry->overlayEnabled &&
+                           config_.overlaysEnabled && !entry->metadataMode;
+        if (use_overlay) {
+            if (!entry->obv.test(line)) {
+                t = serviceOverlayingWrite(asid, vaddr, entry, t, outcome);
+                // The entry may have been invalidated (promotion); the
+                // re-lookup is an L1 TLB hit in the common case.
+                entry = translate(asid, vpn, t, outcome, core);
+            }
+        } else {
+            t = serviceCowFault(asid, vaddr, entry, t, outcome, core);
+        }
+    }
+
+    bool overlay_line = config_.overlaysEnabled && entry->overlayEnabled &&
+                        !entry->metadataMode && entry->obv.test(line);
+    Addr line_addr = overlay_line ? overlayLineAddr(asid, vaddr)
+                                  : physLineAddr(entry->ppn, vaddr);
+    if (overlay_line) {
+        outcome->overlayLine = true;
+        if (is_write)
+            ++simpleOverlayWrites_;
+        else
+            ++overlayLineReads_;
+    }
+    t = caches_.access(line_addr, is_write, t, &outcome->level);
+    outcome->completion = t;
+    return t;
+}
+
+Tick
+System::serviceCowFault(Asid asid, Addr vaddr, TlbEntryData *&entry,
+                        Tick t, AccessOutcome *outcome, unsigned core)
+{
+    ++cowFaults_;
+    outcome->cowFault = true;
+    ovl_trace(system, "CoW fault: asid=%u vaddr=%llx t=%llu",
+              unsigned(asid), (unsigned long long)vaddr,
+              (unsigned long long)t);
+    t += config_.pageFaultTrapCycles;
+
+    Addr vpn = pageNumber(vaddr);
+    Pte *pte = vmm_.resolve(asid, vpn);
+    Addr old_ppn = pte->ppn;
+    bool copied = false;
+    vmm_.breakCow(asid, vpn, &copied);
+
+    if (copied) {
+        // The OS copies the page through the CPU caches: 64 loads and 64
+        // stores, issued with high memory-level parallelism (§5.1). This
+        // is what pollutes the L1 and doubles the write bandwidth.
+        Tick copy_done = t;
+        for (unsigned l = 0; l < kLinesPerPage; ++l) {
+            Addr src = (old_ppn << kPageShift) | (Addr(l) << kLineShift);
+            Addr dst = (pte->ppn << kPageShift) | (Addr(l) << kLineShift);
+            Tick rd = caches_.access(src, false, t);
+            Tick wr = caches_.access(dst, true, rd);
+            copy_done = std::max(copy_done, wr);
+            ++cowLinesCopied_;
+        }
+        t = copy_done;
+    }
+
+    // Remap: update the PTE and shoot down stale TLB entries [6, 52].
+    t += config_.tlbShootdownCycles();
+    for (auto &tlb : tlbs_)
+        tlb->invalidate(asid, vpn);
+
+    TlbEntryData data;
+    data.ppn = pte->ppn;
+    data.writable = pte->writable;
+    data.cow = pte->cow;
+    data.overlayEnabled = pte->overlayEnabled;
+    data.metadataMode = pte->metadataMode;
+    entry = tlbs_[core]->fill(asid, vpn, data);
+    return t;
+}
+
+void
+System::overlayLineFunctional(Asid asid, Addr vaddr, const Pte &pte)
+{
+    // Functional half of the overlaying write: the line's current
+    // contents move from the regular physical page into the overlay.
+    unsigned line = lineInPage(vaddr);
+    Opn opn = overlay_addr::pageFromVirtual(asid, pageNumber(vaddr));
+    LineData data;
+    physMem_.readLine(physLineAddr(pte.ppn, vaddr), data);
+    overlayMgr_.writeLineData(opn, line, data);
+}
+
+Tick
+System::broadcastOre(Asid asid, Addr vpn, unsigned line, Tick t)
+{
+    // The overlaying-read-exclusive message travels the coherence
+    // network: every TLB holding the mapping flips one OBitVector bit,
+    // and the memory controller updates the OMT (§4.3.3). No shootdown.
+    // The write only waits for the TLB updates; the OMT update is
+    // posted — it is ordered at the controller and merely occupies the
+    // OMT cache and DRAM in the background ("negligible logic on the
+    // critical path", §1). Messages serialize at the coherence ordering
+    // point, so dense bursts of overlaying writes queue up — this is
+    // why clustered write patterns (cactus) favour copy-on-write (§5.1).
+    Tick start = std::max(t, oreBusyUntil_);
+    Tick ore_done = start + config_.oreMessageCycles;
+    oreBusyUntil_ = ore_done;
+    t = ore_done;
+    for (auto &tlb : tlbs_)
+        tlb->updateObvBit(asid, vpn, line, true);
+    Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+    overlayMgr_.overlayingReadExclusive(opn, line, t);
+    return t;
+}
+
+Tick
+System::serviceOverlayingWrite(Asid asid, Addr vaddr, TlbEntryData *entry,
+                               Tick t, AccessOutcome *outcome)
+{
+    ++overlayingWrites_;
+    outcome->overlayingWrite = true;
+    ovl_trace(system, "overlaying write: asid=%u vaddr=%llx line=%u t=%llu",
+              unsigned(asid), (unsigned long long)vaddr,
+              lineInPage(vaddr), (unsigned long long)t);
+
+    Addr vpn = pageNumber(vaddr);
+    unsigned line = lineInPage(vaddr);
+    Pte *pte = vmm_.resolve(asid, vpn);
+    Addr pline = physLineAddr(pte->ppn, vaddr);
+    Addr oline = overlayLineAddr(asid, vaddr);
+
+    overlayLineFunctional(asid, vaddr, *pte);
+
+    // Step 1 (§4.3.3): move the line's data into the overlay address —
+    // in hardware, a cache tag update when the line is resident, or a
+    // fetch followed by the tag update otherwise.
+    if (!caches_.retagLine(pline, oline, t)) {
+        t = caches_.access(pline, false, t);
+        caches_.retagLine(pline, oline, t);
+    }
+
+    // Step 2: keep TLBs and the OMT coherent with one message.
+    t = broadcastOre(asid, vpn, line, t);
+
+    // OS promotion policy (§4.3.4): convert densely-overlaid pages back
+    // to regular pages.
+    if (config_.promoteThresholdLines < kLinesPerPage &&
+        entry->obv.count() >= config_.promoteThresholdLines) {
+        t = promoteOverlay(asid, vaddr, PromoteAction::CopyAndCommit, t);
+    }
+    // Step 3 (the write itself) happens in access() after re-translation.
+    return t;
+}
+
+// ----------------------- data-carrying wrappers ------------------------
+
+Tick
+System::write(Asid asid, Addr vaddr, const void *data, std::size_t len,
+              Tick when)
+{
+    const auto *src = static_cast<const std::uint8_t *>(data);
+    Tick t = when;
+    while (len > 0) {
+        std::size_t chunk = std::min<std::size_t>(
+            len, std::size_t(lineBase(vaddr) + kLineSize - vaddr));
+        t = access(asid, vaddr, true, t);
+        poke(asid, vaddr, src, chunk);
+        vaddr += chunk;
+        src += chunk;
+        len -= chunk;
+    }
+    return t;
+}
+
+Tick
+System::read(Asid asid, Addr vaddr, void *out, std::size_t len, Tick when)
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    Tick t = when;
+    while (len > 0) {
+        std::size_t chunk = std::min<std::size_t>(
+            len, std::size_t(lineBase(vaddr) + kLineSize - vaddr));
+        t = access(asid, vaddr, false, t);
+        peek(asid, vaddr, dst, chunk);
+        vaddr += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+    return t;
+}
+
+void
+System::poke(Asid asid, Addr vaddr, const void *data, std::size_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        std::size_t chunk = std::min<std::size_t>(
+            len, std::size_t(lineBase(vaddr) + kLineSize - vaddr));
+        Addr vpn = pageNumber(vaddr);
+        unsigned line = lineInPage(vaddr);
+        Pte *pte = vmm_.resolve(asid, vpn);
+        ovl_assert(pte != nullptr && pte->present, "poke to unmapped page");
+
+        bool use_overlay = config_.overlaysEnabled && pte->overlayEnabled &&
+                           !pte->metadataMode;
+        Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+
+        if (pte->cow && use_overlay &&
+            !overlayMgr_.obitvector(opn).test(line)) {
+            // Functional overlaying write (no timing charge).
+            overlayLineFunctional(asid, vaddr, *pte);
+            for (auto &tlb : tlbs_)
+                tlb->updateObvBit(asid, vpn, line, true);
+        } else if (pte->cow && !use_overlay) {
+            vmm_.breakCow(asid, vpn);
+            for (auto &tlb : tlbs_)
+                tlb->invalidate(asid, vpn);
+        }
+
+        if (use_overlay && overlayMgr_.obitvector(opn).test(line)) {
+            LineData line_data;
+            overlayMgr_.readLineData(opn, line, line_data);
+            std::memcpy(line_data.data() + (vaddr & kLineMask), src, chunk);
+            overlayMgr_.writeLineData(opn, line, line_data);
+        } else {
+            physMem_.writeBytes((pte->ppn << kPageShift) | pageOffset(vaddr),
+                                src, chunk);
+        }
+        vaddr += chunk;
+        src += chunk;
+        len -= chunk;
+    }
+}
+
+void
+System::peek(Asid asid, Addr vaddr, void *out, std::size_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        std::size_t chunk = std::min<std::size_t>(
+            len, std::size_t(lineBase(vaddr) + kLineSize - vaddr));
+        Addr vpn = pageNumber(vaddr);
+        unsigned line = lineInPage(vaddr);
+        const Pte *pte = vmm_.process(asid).pageTable.find(vpn);
+        ovl_assert(pte != nullptr && pte->present, "peek of unmapped page");
+
+        Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+        if (config_.overlaysEnabled && pte->overlayEnabled &&
+            !pte->metadataMode && overlayMgr_.obitvector(opn).test(line)) {
+            // Access semantics of Figure 2: overlay lines come from the
+            // overlay, all others from the physical page.
+            LineData line_data;
+            overlayMgr_.readLineData(opn, line, line_data);
+            std::memcpy(dst, line_data.data() + (vaddr & kLineMask), chunk);
+        } else {
+            physMem_.readBytes((pte->ppn << kPageShift) | pageOffset(vaddr),
+                               dst, chunk);
+        }
+        vaddr += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+// ----------------------- metadata instructions -------------------------
+
+Tick
+System::metadataAccess(Asid asid, Addr vaddr, bool is_write, Tick when)
+{
+    Addr vpn = pageNumber(vaddr);
+    Tick t = when;
+    TlbEntryData *entry = translate(asid, vpn, t, nullptr);
+    ovl_assert(entry->metadataMode && entry->overlayEnabled,
+               "metadata access to a page not in metadata mode");
+    if (is_write) {
+        // First store to a shadow line maps it (same ORE protocol).
+        unsigned line = lineInPage(vaddr);
+        if (!entry->obv.test(line))
+            t = broadcastOre(asid, vpn, line, t);
+    }
+    return caches_.access(overlayLineAddr(asid, vaddr), is_write, t);
+}
+
+void
+System::metadataPoke(Asid asid, Addr vaddr, const void *data,
+                     std::size_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        std::size_t chunk = std::min<std::size_t>(
+            len, std::size_t(lineBase(vaddr) + kLineSize - vaddr));
+        Addr vpn = pageNumber(vaddr);
+        unsigned line = lineInPage(vaddr);
+        Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+        LineData line_data{};
+        if (overlayMgr_.hasLineData(opn, line))
+            overlayMgr_.readLineData(opn, line, line_data);
+        std::memcpy(line_data.data() + (vaddr & kLineMask), src, chunk);
+        overlayMgr_.writeLineData(opn, line, line_data);
+        for (auto &tlb : tlbs_)
+            tlb->updateObvBit(asid, vpn, line, true);
+        vaddr += chunk;
+        src += chunk;
+        len -= chunk;
+    }
+}
+
+void
+System::metadataPeek(Asid asid, Addr vaddr, void *out,
+                     std::size_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        std::size_t chunk = std::min<std::size_t>(
+            len, std::size_t(lineBase(vaddr) + kLineSize - vaddr));
+        Addr vpn = pageNumber(vaddr);
+        unsigned line = lineInPage(vaddr);
+        Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+        if (overlayMgr_.hasLineData(opn, line)) {
+            LineData line_data;
+            overlayMgr_.readLineData(opn, line, line_data);
+            std::memcpy(dst, line_data.data() + (vaddr & kLineMask), chunk);
+        } else {
+            std::memset(dst, 0, chunk); // unmapped shadow lines are zero
+        }
+        vaddr += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+// ------------------------------ fork -----------------------------------
+
+Asid
+System::fork(Asid parent, ForkMode mode, Tick when, Tick *done)
+{
+    Asid child = vmm_.fork(parent, mode);
+    ovl_trace(system, "fork: parent=%u child=%u mode=%s", unsigned(parent),
+              unsigned(child),
+              mode == ForkMode::CopyOnWrite ? "cow" : "oow");
+    Tick t = when + config_.pageFaultTrapCycles; // syscall + bookkeeping
+
+    // Charge the page-table copy (8 B PTEs, 8 per line) through DRAM.
+    Process &parent_proc = vmm_.process(parent);
+    std::uint64_t pages = parent_proc.pageTable.size();
+    forkPagesShared_ += pages;
+    std::uint64_t pte_lines = (pages * 8 + kLineSize - 1) / kLineSize;
+    for (std::uint64_t i = 0; i < pte_lines; ++i) {
+        // Sequential table reads followed by buffered writes.
+        t = dramCtrl_.read((i * kLineSize) % config_.memCapacityBytes, t);
+        dramCtrl_.enqueueWrite((i * kLineSize) % config_.memCapacityBytes,
+                               t);
+    }
+
+    // §4.1: overlays are not shared across virtual pages, so fork must
+    // copy the parent's overlay lines into the child's overlays.
+    if (config_.overlaysEnabled) {
+        for (auto &[vpn, pte] : parent_proc.pageTable) {
+            Opn parent_opn = overlay_addr::pageFromVirtual(parent, vpn);
+            BitVector64 obv = overlayMgr_.obitvector(parent_opn);
+            if (obv.none())
+                continue;
+            Opn child_opn = overlay_addr::pageFromVirtual(child, vpn);
+            for (unsigned l = obv.findFirst(); l < kLinesPerPage;
+                 l = obv.findNext(l)) {
+                LineData data;
+                overlayMgr_.readLineData(parent_opn, l, data);
+                overlayMgr_.writeLineData(child_opn, l, data);
+                ++forkOverlayLinesCopied_;
+                Addr src = (parent_opn << kPageShift) |
+                           (Addr(l) << kLineShift);
+                t = caches_.access(src, false, t);
+                Addr dst = (child_opn << kPageShift) |
+                           (Addr(l) << kLineShift);
+                caches_.access(dst, true, t);
+            }
+        }
+    }
+
+    // The parent's cached translations are stale (cow now set).
+    t += config_.tlbShootdownCycles();
+    for (auto &tlb : tlbs_)
+        tlb->invalidateAsid(parent);
+
+    if (done)
+        *done = t;
+    return child;
+}
+
+void
+System::unmap(Asid asid, Addr vaddr, std::uint64_t len, Tick when)
+{
+    ovl_assert(pageOffset(vaddr) == 0 && len % kPageSize == 0,
+               "unmap requires a page-aligned range");
+    for (Addr va = vaddr; va < vaddr + len; va += kPageSize) {
+        Addr vpn = pageNumber(va);
+        if (vmm_.resolve(asid, vpn) == nullptr)
+            continue;
+        Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+        BitVector64 obv = overlayMgr_.obitvector(opn);
+        // Discard the overlay first so writebacks of its cached lines
+        // are squashed, then drop those lines from the caches.
+        overlayMgr_.discardOverlay(opn);
+        for (unsigned l = obv.findFirst(); l < kLinesPerPage;
+             l = obv.findNext(l)) {
+            caches_.invalidateLine(
+                (opn << kPageShift) | (Addr(l) << kLineShift), when);
+        }
+        for (auto &tlb : tlbs_)
+            tlb->invalidate(asid, vpn);
+        // If this unmap frees the frame, its cached lines must not alias
+        // the frame's next user.
+        Pte *pte = vmm_.resolve(asid, vpn);
+        if (pte->ppn != PhysicalMemory::kZeroFrame &&
+            physMem_.refCount(pte->ppn) == 1) {
+            for (unsigned l = 0; l < kLinesPerPage; ++l) {
+                caches_.invalidateLine(
+                    (pte->ppn << kPageShift) | (Addr(l) << kLineShift),
+                    when);
+            }
+        }
+        vmm_.unmap(asid, va, kPageSize);
+    }
+}
+
+void
+System::destroyProcess(Asid asid, Tick when)
+{
+    // Collect first: unmap() mutates the page table while iterating.
+    std::vector<Addr> vpns;
+    for (const auto &[vpn, pte] : vmm_.process(asid).pageTable) {
+        (void)pte;
+        vpns.push_back(vpn);
+    }
+    for (Addr vpn : vpns)
+        unmap(asid, vpn << kPageShift, kPageSize, when);
+    for (auto &tlb : tlbs_)
+        tlb->invalidateAsid(asid);
+}
+
+// --------------------------- promotion ---------------------------------
+
+Tick
+System::promoteOverlay(Asid asid, Addr vaddr, PromoteAction action,
+                       Tick when)
+{
+    ++promotions_;
+    ovl_trace(system, "promote: asid=%u page=%llx action=%d",
+              unsigned(asid), (unsigned long long)pageBase(vaddr),
+              int(action));
+    Addr vpn = pageNumber(vaddr);
+    Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+    Pte *pte = vmm_.resolve(asid, vpn);
+    ovl_assert(pte != nullptr && pte->present, "promotion of unmapped page");
+    BitVector64 obv = overlayMgr_.obitvector(opn);
+
+    Tick t = when + config_.pageFaultTrapCycles; // OS-mediated action
+
+    switch (action) {
+      case PromoteAction::CopyAndCommit: {
+        // Merge the regular page and the overlay into a fresh frame.
+        Addr new_frame = physMem_.allocFrame();
+        Tick copy_done = t;
+        for (unsigned l = 0; l < kLinesPerPage; ++l) {
+            LineData data;
+            Addr src;
+            if (obv.test(l)) {
+                overlayMgr_.readLineData(opn, l, data);
+                src = (opn << kPageShift) | (Addr(l) << kLineShift);
+            } else {
+                src = (pte->ppn << kPageShift) | (Addr(l) << kLineShift);
+                physMem_.readLine(src, data);
+            }
+            Addr dst = (new_frame << kPageShift) | (Addr(l) << kLineShift);
+            physMem_.writeLine(dst, data);
+            Tick rd = caches_.access(src, false, t);
+            Tick wr = caches_.access(dst, true, rd);
+            copy_done = std::max(copy_done, wr);
+        }
+        t = copy_done;
+        physMem_.release(pte->ppn);
+        pte->ppn = new_frame;
+        pte->cow = false;
+        break;
+      }
+      case PromoteAction::Commit: {
+        // Fold the overlay's lines into the existing physical page
+        // (speculation commit / checkpoint collection, §4.3.4).
+        ovl_assert(pte->ppn != PhysicalMemory::kZeroFrame,
+                   "commit into the shared zero frame");
+        ovl_assert(physMem_.refCount(pte->ppn) == 1,
+                   "commit into a shared frame");
+        Tick copy_done = t;
+        for (unsigned l = obv.findFirst(); l < kLinesPerPage;
+             l = obv.findNext(l)) {
+            LineData data;
+            overlayMgr_.readLineData(opn, l, data);
+            Addr dst = (pte->ppn << kPageShift) | (Addr(l) << kLineShift);
+            physMem_.writeLine(dst, data);
+            Addr src = (opn << kPageShift) | (Addr(l) << kLineShift);
+            Tick rd = caches_.access(src, false, t);
+            Tick wr = caches_.access(dst, true, rd);
+            copy_done = std::max(copy_done, wr);
+        }
+        t = copy_done;
+        pte->cow = false;
+        break;
+      }
+      case PromoteAction::Discard:
+        // Failed speculation: the overlay simply vanishes; the page
+        // stays armed (cow + overlay-enabled) for the next use.
+        break;
+    }
+
+    // Tear down overlay state: free the OMT entry and segment, drop the
+    // overlay's lines from the caches (writebacks of discarded lines are
+    // squashed at the controller), and clear the page's OBitVector from
+    // every TLB.
+    overlayMgr_.discardOverlay(opn);
+    for (unsigned l = obv.findFirst(); l < kLinesPerPage;
+         l = obv.findNext(l)) {
+        caches_.invalidateLine((opn << kPageShift) | (Addr(l) << kLineShift),
+                               t);
+    }
+    t += config_.tlbShootdownCycles();
+    for (auto &tlb : tlbs_)
+        tlb->invalidate(asid, vpn);
+    return t;
+}
+
+// ------------------------------ misc ------------------------------------
+
+BitVector64
+System::pageObv(Asid asid, Addr vaddr) const
+{
+    if (!config_.overlaysEnabled)
+        return BitVector64();
+    Opn opn = overlay_addr::pageFromVirtual(asid, pageNumber(vaddr));
+    return overlayMgr_.obitvector(opn);
+}
+
+bool
+System::lineInOverlay(Asid asid, Addr vaddr) const
+{
+    return pageObv(asid, vaddr).test(lineInPage(vaddr));
+}
+
+bool
+System::reclaimZeroLine(Asid asid, Addr vaddr, Tick when)
+{
+    Addr vpn = pageNumber(vaddr);
+    unsigned line = lineInPage(vaddr);
+    Pte *pte = vmm_.resolve(asid, vpn);
+    if (pte == nullptr || pte->ppn != PhysicalMemory::kZeroFrame ||
+        !pte->overlayEnabled || !config_.overlaysEnabled) {
+        return false;
+    }
+    Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+    if (!overlayMgr_.obitvector(opn).test(line) ||
+        !overlayMgr_.hasLineData(opn, line)) {
+        return false;
+    }
+    LineData data;
+    overlayMgr_.readLineData(opn, line, data);
+    for (std::uint8_t b : data) {
+        if (b != 0)
+            return false;
+    }
+
+    // Drop the line: invalidate the cached copy (its writeback, if any,
+    // will be squashed), clear the bit in every TLB and the OMT, and
+    // free the slot. If the overlay is now empty, release the segment.
+    Addr oline = overlayLineAddr(asid, vaddr);
+    caches_.invalidateLine(oline, when);
+    overlayMgr_.clearLine(opn, line);
+    for (auto &tlb : tlbs_)
+        tlb->updateObvBit(asid, vpn, line, false);
+    overlayMgr_.omtCache().markModified(opn);
+    if (overlayMgr_.obitvector(opn).none())
+        overlayMgr_.discardOverlay(opn);
+    return true;
+}
+
+void
+System::prefetchOverlayPage(Asid asid, Addr vaddr, Tick when)
+{
+    BitVector64 obv = pageObv(asid, vaddr);
+    Opn opn = overlay_addr::pageFromVirtual(asid, pageNumber(vaddr));
+    for (unsigned l = obv.findFirst(); l < kLinesPerPage;
+         l = obv.findNext(l)) {
+        caches_.prefetchLine((opn << kPageShift) | (Addr(l) << kLineShift),
+                             when);
+    }
+}
+
+std::uint64_t
+System::additionalMemoryBytes() const
+{
+    // Private frames, minus the pages merely backing the OMS region,
+    // plus the OMS segments actually allocated and the OMT's own nodes.
+    std::uint64_t used = physMem_.bytesInUse() - omsBackingBytes_ +
+                         overlayMgr_.omsBytesInUse() +
+                         overlayMgr_.omt().nodeBytes();
+    return used - memoryBaselineBytes_;
+}
+
+void
+System::markMemoryBaseline()
+{
+    memoryBaselineBytes_ = 0;
+    memoryBaselineBytes_ = physMem_.bytesInUse() - omsBackingBytes_ +
+                           overlayMgr_.omsBytesInUse() +
+                           overlayMgr_.omt().nodeBytes();
+}
+
+void
+System::quiesce()
+{
+    dramCtrl_.resetTiming();
+    caches_.resetTiming();
+    oreBusyUntil_ = 0;
+}
+
+void
+System::dumpAllStats(std::ostream &os)
+{
+    statGroup().dump(os);
+    physMem_.dumpStats(os);
+    vmm_.dumpStats(os);
+    dramCtrl_.dumpStats(os);
+    overlayMgr_.dumpStats(os);
+    memCtrl_.dumpStats(os);
+    caches_.dumpStats(os);
+    caches_.l1().dumpStats(os);
+    caches_.l2().dumpStats(os);
+    caches_.l3().dumpStats(os);
+    caches_.prefetcher().dumpStats(os);
+    for (const auto &tlb : tlbs_) {
+        tlb->l1().dumpStats(os);
+        tlb->l2().dumpStats(os);
+    }
+}
+
+void
+System::dumpAllStatsJson(std::ostream &os)
+{
+    const stats::Group *groups[] = {
+        &statGroup(),
+        &physMem_.statGroup(),
+        &vmm_.statGroup(),
+        &dramCtrl_.statGroup(),
+        &dramCtrl_.dram().statGroup(),
+        &overlayMgr_.statGroup(),
+        &overlayMgr_.omt().statGroup(),
+        &overlayMgr_.omtCache().statGroup(),
+        &overlayMgr_.allocator().statGroup(),
+        &memCtrl_.statGroup(),
+        &caches_.statGroup(),
+        &caches_.l1().statGroup(),
+        &caches_.l2().statGroup(),
+        &caches_.l3().statGroup(),
+        &caches_.prefetcher().statGroup(),
+    };
+    os << "{";
+    bool first = true;
+    for (const stats::Group *group : groups) {
+        if (!first)
+            os << ",\n ";
+        first = false;
+        os << "\"" << group->name() << "\": ";
+        group->dumpJson(os);
+    }
+    for (const auto &tlb : tlbs_) {
+        os << ",\n \"" << tlb->l1().name() << "\": ";
+        tlb->l1().statGroup().dumpJson(os);
+        os << ",\n \"" << tlb->l2().name() << "\": ";
+        tlb->l2().statGroup().dumpJson(os);
+    }
+    os << "}\n";
+}
+
+void
+System::resetStats()
+{
+    SimObject::resetStats();
+    physMem_.resetStats();
+    vmm_.resetStats();
+    dramCtrl_.resetStats();
+    overlayMgr_.resetStats();
+    memCtrl_.resetStats();
+    caches_.resetStats();
+}
+
+} // namespace ovl

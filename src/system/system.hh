@@ -1,0 +1,304 @@
+/**
+ * @file
+ * The full simulated machine: core-side TLBs, the three-level cache
+ * hierarchy, the overlay-aware memory controller (regular DRAM + Overlay
+ * Memory Store), the OS (Vmm) and the overlay engine, wired per Figure 6.
+ * This class implements the paper's three memory-access operations —
+ * read, simple write and overlaying write (§4.3.1–§4.3.3) — the CoW
+ * baseline fault path, overlay promotion (§4.3.4) and fork.
+ */
+
+#ifndef OVERLAYSIM_SYSTEM_SYSTEM_HH
+#define OVERLAYSIM_SYSTEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/types.hh"
+#include "overlay/overlay_addr.hh"
+#include "overlay/overlay_manager.hh"
+#include "system/config.hh"
+#include "tlb/tlb.hh"
+#include "vm/vmm.hh"
+
+namespace ovl
+{
+
+/** Promotion actions for converting an overlay to a regular page (§4.3.4). */
+enum class PromoteAction
+{
+    CopyAndCommit, ///< merge page + overlay into a fresh frame
+    Commit,        ///< write overlay lines into the existing frame
+    Discard,       ///< drop the overlay (failed speculation)
+};
+
+/** Per-access outcome details (for stats and tests). */
+struct AccessOutcome
+{
+    Tick completion = 0;
+    HitLevel level = HitLevel::L1;
+    bool tlbWalk = false;
+    bool overlayLine = false;   ///< serviced from the overlay address space
+    bool cowFault = false;      ///< baseline copy-on-write fault taken
+    bool overlayingWrite = false; ///< line moved to the overlay (§4.3.3)
+};
+
+/**
+ * The overlay-aware memory controller: routes full-hierarchy misses
+ * either to regular DRAM or to the overlay engine based on the overlay
+ * bit of the physical address (§4.3.1).
+ */
+class OverlayAwareMemController : public SimObject, public MemBackend
+{
+  public:
+    OverlayAwareMemController(std::string name, DramController &dram,
+                              OverlayManager &ovm);
+
+    Tick readLine(Addr line_addr, Tick when) override;
+    Tick writebackLine(Addr line_addr, Tick when) override;
+
+  private:
+    DramController &dram_;
+    OverlayManager &ovm_;
+
+    stats::Counter regularReads_;
+    stats::Counter regularWritebacks_;
+    stats::Counter overlayReads_;
+    stats::Counter overlayWritebacks_;
+    stats::Counter droppedPrefetches_;
+};
+
+/** The machine. */
+class System : public SimObject
+{
+  public:
+    explicit System(SystemConfig config = SystemConfig{});
+
+    const SystemConfig &config() const { return config_; }
+
+    // ----- process / OS operations --------------------------------------
+
+    /** Create a process with an empty address space. */
+    Asid createProcess() { return vmm_.createProcess(); }
+
+    /** Map anonymous private memory. */
+    void
+    mapAnon(Asid asid, Addr vaddr, std::uint64_t len, bool writable = true)
+    {
+        vmm_.mapAnon(asid, vaddr, len, writable);
+    }
+
+    /**
+     * Map zero-backed overlay-enabled memory: the substrate for sparse
+     * data structures (§5.2).
+     */
+    void
+    mapZeroOverlay(Asid asid, Addr vaddr, std::uint64_t len)
+    {
+        vmm_.mapZeroCow(asid, vaddr, len, true);
+    }
+
+    /**
+     * fork(): duplicates the address space (including overlays, §4.1)
+     * and marks writable pages CoW/OoW per @p mode. Charges the page
+     * table copy and the parent-side TLB invalidation.
+     *
+     * @return the child ASID; @p done (optional) receives completion time.
+     */
+    Asid fork(Asid parent, ForkMode mode, Tick when, Tick *done = nullptr);
+
+    /**
+     * Unmap [vaddr, vaddr+len): releases frames, discards the pages'
+     * overlays (freeing OMT entries and OMS segments), drops cached
+     * lines and translations.
+     */
+    void unmap(Asid asid, Addr vaddr, std::uint64_t len, Tick when);
+
+    /**
+     * Tear down a whole process: unmap everything it maps. The ASID is
+     * retired (per §4.1's 1-1 overlay mapping, ASIDs are not recycled
+     * while the system lives).
+     */
+    void destroyProcess(Asid asid, Tick when);
+
+    // ----- the three memory operations (§4.3) ----------------------------
+
+    /**
+     * One timing access (64 B granularity). Performs all architectural
+     * state transitions: TLB fills, CoW faults, overlaying writes,
+     * promotions. The store data itself is not needed for timing; use
+     * write() to also update functional contents. @p core selects which
+     * core's TLBs translate the access (coherence messages and
+     * shootdowns always reach every core's TLBs).
+     */
+    Tick access(Asid asid, Addr vaddr, bool is_write, Tick when,
+                AccessOutcome *outcome = nullptr, unsigned core = 0);
+
+    /** Timing access + functional store. */
+    Tick write(Asid asid, Addr vaddr, const void *data, std::size_t len,
+               Tick when);
+
+    /** Timing access + functional load. */
+    Tick read(Asid asid, Addr vaddr, void *out, std::size_t len, Tick when);
+
+    // ----- functional-only access (no timing) ---------------------------
+
+    /** Functional store honouring overlay semantics (may transition). */
+    void poke(Asid asid, Addr vaddr, const void *data, std::size_t len);
+
+    /** Functional load honouring overlay semantics (Figure 2). */
+    void peek(Asid asid, Addr vaddr, void *out, std::size_t len) const;
+
+    // ----- metadata instructions (§5.3.4) --------------------------------
+
+    /**
+     * Timing path of the new metadata load/store instructions: a regular
+     * TLB translation followed by an access to the overlay address of
+     * the data's line, where the page's out-of-band metadata lives.
+     * Requires the page to be in metadata mode.
+     */
+    Tick metadataAccess(Asid asid, Addr vaddr, bool is_write, Tick when);
+
+    /** Functional metadata store (creates the shadow line on demand). */
+    void metadataPoke(Asid asid, Addr vaddr, const void *data,
+                      std::size_t len);
+
+    /** Functional metadata load; absent shadow lines read as zero. */
+    void metadataPeek(Asid asid, Addr vaddr, void *out,
+                      std::size_t len) const;
+
+    // ----- overlay management (§4.3.4) -----------------------------------
+
+    /**
+     * Convert the overlay of (asid, page of @p vaddr) back to a regular
+     * page. Returns completion time.
+     */
+    Tick promoteOverlay(Asid asid, Addr vaddr, PromoteAction action,
+                        Tick when);
+
+    /** OBitVector of the page containing @p vaddr (hardware TLB view). */
+    BitVector64 pageObv(Asid asid, Addr vaddr) const;
+
+    /**
+     * Overlay-aware prefetch (§5.2): the hardware knows from the
+     * OBitVector exactly which lines of the page exist in the overlay
+     * and prefetches them into the L3. Non-blocking.
+     */
+    void prefetchOverlayPage(Asid asid, Addr vaddr, Tick when);
+
+    /** True if the line containing @p vaddr is mapped in the overlay. */
+    bool lineInOverlay(Asid asid, Addr vaddr) const;
+
+    /**
+     * Dynamic-deletion support for zero-backed sparse structures: if the
+     * overlay line containing @p vaddr has become all zeroes and the
+     * page's physical backing is the shared zero frame, unmap the line
+     * (reads fall through to the zero page, unchanged semantics) and
+     * reclaim its OMS slot. The inverse of the overlaying write: one
+     * coherence message clears the OBitVector bit everywhere.
+     *
+     * @return true if the line was reclaimed.
+     */
+    bool reclaimZeroLine(Asid asid, Addr vaddr, Tick when);
+
+    // ----- component access ----------------------------------------------
+
+    Vmm &vmm() { return vmm_; }
+    PhysicalMemory &physMem() { return physMem_; }
+    OverlayManager &overlayManager() { return overlayMgr_; }
+    CacheHierarchy &caches() { return caches_; }
+    TwoLevelTlb &tlb(unsigned idx = 0) { return *tlbs_[idx]; }
+    DramController &dramController() { return dramCtrl_; }
+
+    /**
+     * Additional memory consumed since construction or the last call to
+     * markMemoryBaseline(): private frames plus OMS bytes. This is the
+     * quantity Figure 8 plots.
+     */
+    std::uint64_t additionalMemoryBytes() const;
+    void markMemoryBaseline();
+
+    /**
+     * Phase boundary: drain all pending memory-system activity and
+     * restart the timing state at tick 0 (the functional state — caches,
+     * TLBs, overlays, memory contents — is untouched). Experiment
+     * harnesses call this between a setup phase and a timed run.
+     */
+    void quiesce();
+
+    /** Dump the statistics of every component. */
+    void dumpAllStats(std::ostream &os);
+
+    /** Dump every component's statistics as one JSON object. */
+    void dumpAllStatsJson(std::ostream &os);
+    void resetStats() override;
+
+    std::uint64_t cowFaults() const { return cowFaults_.value(); }
+    std::uint64_t overlayingWrites() const { return overlayingWrites_.value(); }
+
+  private:
+    /** Overlay line address of (asid, vaddr)'s line. */
+    static Addr
+    overlayLineAddr(Asid asid, Addr vaddr)
+    {
+        return overlay_addr::fromVirtual(asid, lineBase(vaddr));
+    }
+
+    /** Regular physical line address of @p vaddr's line in frame @p ppn. */
+    static Addr
+    physLineAddr(Addr ppn, Addr vaddr)
+    {
+        return (ppn << kPageShift) | (pageOffset(vaddr) & ~kLineMask);
+    }
+
+    /** TLB access + walk/fill; returns the entry and advances @p t. */
+    TlbEntryData *translate(Asid asid, Addr vpn, Tick &t,
+                            AccessOutcome *outcome, unsigned core = 0);
+
+    /** Baseline CoW write-fault service (Figure 3a). */
+    Tick serviceCowFault(Asid asid, Addr vaddr, TlbEntryData *&entry,
+                         Tick t, AccessOutcome *outcome, unsigned core);
+
+    /** Overlaying write (Figure 3b, §4.3.3). Advances time. */
+    Tick serviceOverlayingWrite(Asid asid, Addr vaddr, TlbEntryData *entry,
+                                Tick t, AccessOutcome *outcome);
+
+    /** Functional half of an overlaying write (shared with poke()). */
+    void overlayLineFunctional(Asid asid, Addr vaddr, const Pte &pte);
+
+    /** Broadcast an ORE message to every TLB + the OMT (§4.3.3). */
+    Tick broadcastOre(Asid asid, Addr vpn, unsigned line, Tick t);
+
+    SystemConfig config_;
+    PhysicalMemory physMem_;
+    Vmm vmm_;
+    DramController dramCtrl_;
+    OverlayManager overlayMgr_;
+    OverlayAwareMemController memCtrl_;
+    CacheHierarchy caches_;
+    std::vector<std::unique_ptr<TwoLevelTlb>> tlbs_;
+
+    std::uint64_t memoryBaselineBytes_ = 0;
+    /** Main-memory pages handed to the OMS/OMT (subset of physMem use). */
+    std::uint64_t omsBackingBytes_ = 0;
+    /** ORE messages serialize at the coherence ordering point. */
+    Tick oreBusyUntil_ = 0;
+
+    stats::Counter accesses_;
+    stats::Counter tlbWalks_;
+    stats::Counter cowFaults_;
+    stats::Counter cowLinesCopied_;
+    stats::Counter overlayingWrites_;
+    stats::Counter simpleOverlayWrites_;
+    stats::Counter overlayLineReads_;
+    stats::Counter promotions_;
+    stats::Counter forkPagesShared_;
+    stats::Counter forkOverlayLinesCopied_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_SYSTEM_SYSTEM_HH

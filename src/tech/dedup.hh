@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Technique 3 (§5.3.1): fine-grained deduplication — a hardware-assisted
+ * Difference Engine [23]. Pages whose contents differ from a chosen base
+ * page in at most a handful of cache lines are remapped to the base
+ * frame, with the differing lines stored in their overlays. Unlike the
+ * software Difference Engine, patched pages remain directly accessible
+ * (the overlay semantics apply the "patch" on every access for free);
+ * unlike HICAMP [11], no change to the programming model is needed.
+ */
+
+#ifndef OVERLAYSIM_TECH_DEDUP_HH
+#define OVERLAYSIM_TECH_DEDUP_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace ovl
+{
+
+namespace tech
+{
+
+/** Deduplication policy knobs. */
+struct DedupParams
+{
+    /**
+     * A page is deduplicated against a base if at most this many of its
+     * 64 lines differ. Beyond ~1/4 of the page, the overlay outweighs
+     * the saving.
+     */
+    unsigned maxDiffLines = 16;
+};
+
+/** Outcome of one deduplication pass. */
+struct DedupReport
+{
+    std::uint64_t pagesScanned = 0;
+    std::uint64_t pagesDeduplicated = 0;
+    std::uint64_t exactDuplicates = 0; ///< deduped with empty overlays
+    std::uint64_t diffLinesStored = 0; ///< lines placed in overlays
+    std::uint64_t framesFreed = 0;
+    std::uint64_t overlayBytesAdded = 0;
+
+    /** Net bytes saved: freed frames minus the overlays that replaced
+     * them. */
+    std::int64_t
+    bytesSaved() const
+    {
+        return std::int64_t(framesFreed) * std::int64_t(kPageSize) -
+               std::int64_t(overlayBytesAdded);
+    }
+};
+
+/**
+ * Scan-and-merge deduplication over explicit page lists (in a real
+ * system this is the background scanner of [23, 55]).
+ */
+class DedupEngine
+{
+  public:
+    DedupEngine(System &system, DedupParams params);
+
+    /**
+     * Deduplicate the given (asid, page-aligned vaddr) pages against
+     * each other. The first page of each similarity cluster becomes the
+     * base; the rest are remapped to it with their diffs in overlays.
+     */
+    DedupReport deduplicate(
+        const std::vector<std::pair<Asid, Addr>> &pages);
+
+  private:
+    System &system_;
+    DedupParams params_;
+};
+
+} // namespace tech
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_TECH_DEDUP_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Technique 6 (§5.3.4): fine-grained metadata management. The Overlay
+ * Address Space doubles as shadow memory: a page in metadata mode keeps
+ * its data in the regular physical page while its overlay stores
+ * per-byte metadata, reached only through the new metadata load/store
+ * instructions. No metadata-specific hardware (cf. [35, 59, 60]) is
+ * needed. The demo application is a byte-granularity taint tracker [53].
+ */
+
+#ifndef OVERLAYSIM_TECH_METADATA_HH
+#define OVERLAYSIM_TECH_METADATA_HH
+
+#include <cstdint>
+
+#include "system/system.hh"
+
+namespace ovl
+{
+
+namespace tech
+{
+
+/**
+ * Byte-granularity shadow-memory manager over one process's pages. One
+ * metadata byte shadows each data byte (the overlay page is exactly the
+ * size of the virtual page).
+ */
+class ShadowMemory
+{
+  public:
+    ShadowMemory(System &system, Asid asid);
+
+    /** Enable metadata mode on [vaddr, vaddr+len). */
+    void enable(Addr vaddr, std::uint64_t len);
+
+    /** Store metadata bytes for [vaddr, vaddr+len); returns finish tick. */
+    Tick storeMeta(Addr vaddr, const void *meta, std::size_t len,
+                   Tick when);
+
+    /** Load metadata bytes (zero where never stored). */
+    Tick loadMeta(Addr vaddr, void *out, std::size_t len, Tick when);
+
+    /** Functional variants. */
+    void pokeMeta(Addr vaddr, const void *meta, std::size_t len);
+    void peekMeta(Addr vaddr, void *out, std::size_t len) const;
+
+    /** Shadow lines currently materialized for the page of @p vaddr. */
+    unsigned shadowLines(Addr vaddr) const;
+
+  private:
+    System &system_;
+    Asid asid_;
+};
+
+/**
+ * Taint-propagation demo on top of ShadowMemory: one taint byte per data
+ * byte; taintedCopy() models a propagating move instruction.
+ */
+class TaintTracker
+{
+  public:
+    TaintTracker(System &system, Asid asid) : shadow_(system, asid),
+                                              system_(system), asid_(asid)
+    {
+    }
+
+    void enable(Addr vaddr, std::uint64_t len) { shadow_.enable(vaddr, len); }
+
+    /** Mark [vaddr, vaddr+len) tainted/untainted. */
+    Tick setTaint(Addr vaddr, std::size_t len, bool tainted, Tick when);
+
+    /** Is any byte of [vaddr, vaddr+len) tainted? */
+    bool isTainted(Addr vaddr, std::size_t len) const;
+
+    /**
+     * Copy data and propagate taint (the core of dynamic taint
+     * analysis). Returns finish tick.
+     */
+    Tick taintedCopy(Addr dst, Addr src, std::size_t len, Tick when);
+
+  private:
+    ShadowMemory shadow_;
+    System &system_;
+    Asid asid_;
+};
+
+} // namespace tech
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_TECH_METADATA_HH

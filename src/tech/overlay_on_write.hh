@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Technique 1 (§2.2, §5.1): overlay-on-write, the paper's more efficient
+ * copy-on-write. The heavy lifting lives in System (fork(), the
+ * overlaying-write path, the CoW baseline); this header provides the
+ * page-sharing utility that the other techniques (deduplication, VM
+ * cloning demos) build on: placing an existing mapping of one process
+ * into another process in copy-on-write or overlay-on-write mode.
+ */
+
+#ifndef OVERLAYSIM_TECH_OVERLAY_ON_WRITE_HH
+#define OVERLAYSIM_TECH_OVERLAY_ON_WRITE_HH
+
+#include <cstdint>
+
+#include "system/system.hh"
+
+namespace ovl
+{
+
+namespace tech
+{
+
+/**
+ * Share [vaddr, vaddr+len) of @p owner with @p borrower. Both processes'
+ * PTEs are marked CoW; with @p mode == OverlayOnWrite the OS also sets
+ * the overlay-enabled bit so hardware resolves divergence with overlays
+ * (§2.2). The borrower must not already map the range.
+ */
+void sharePages(System &system, Asid owner, Asid borrower, Addr vaddr,
+                std::uint64_t len, ForkMode mode);
+
+/**
+ * Remap one page of @p asid to an existing frame in CoW/OoW mode,
+ * releasing its current frame (used by deduplication: many pages, one
+ * base frame).
+ */
+void remapToSharedFrame(System &system, Asid asid, Addr vaddr,
+                        Addr base_ppn, ForkMode mode);
+
+} // namespace tech
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_TECH_OVERLAY_ON_WRITE_HH

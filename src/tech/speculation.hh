@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Technique 5 (§5.3.3): virtualizing speculation. Speculative memory
+ * updates are buffered in overlays instead of in the cache, so an
+ * eviction of a speculatively-written line no longer aborts the
+ * speculation — the overlay simply absorbs it. Success commits the
+ * overlays into the base pages; failure discards them. Capacity is
+ * bounded by the Overlay Memory Store, not the cache: effectively
+ * unbounded speculation [2].
+ */
+
+#ifndef OVERLAYSIM_TECH_SPECULATION_HH
+#define OVERLAYSIM_TECH_SPECULATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace ovl
+{
+
+namespace tech
+{
+
+/** Outcome summary of a finished speculative region. */
+struct SpeculationStats
+{
+    std::uint64_t speculativePages = 0;
+    std::uint64_t speculativeLines = 0;
+    bool committed = false;
+    Tick resolveLatency = 0;
+};
+
+/**
+ * One speculative region over explicit address ranges of one process
+ * (a transaction body, a thread-level-speculation epoch, or an OS
+ * speculation window [10, 36, 57]).
+ */
+class SpeculativeRegion
+{
+  public:
+    SpeculativeRegion(System &system, Asid asid);
+    ~SpeculativeRegion();
+
+    /** Begin speculation over [vaddr, vaddr+len); pages must be private. */
+    void begin(Addr vaddr, std::uint64_t len);
+
+    /** Is a region currently open? */
+    bool active() const { return active_; }
+
+    /** Lines currently buffered speculatively (may exceed cache size). */
+    std::uint64_t speculativeLines() const;
+
+    /** Speculation succeeded: merge the overlays into the base pages. */
+    SpeculationStats commit(Tick when);
+
+    /** Speculation failed: throw the overlays away; memory is untouched. */
+    SpeculationStats abort(Tick when);
+
+  private:
+    SpeculationStats resolve(Tick when, bool commit_updates);
+    void disarm();
+
+    System &system_;
+    Asid asid_;
+    Addr vaddr_ = 0;
+    std::uint64_t len_ = 0;
+    bool active_ = false;
+};
+
+} // namespace tech
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_TECH_SPECULATION_HH

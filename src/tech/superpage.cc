@@ -1,0 +1,165 @@
+#include "superpage.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+namespace tech
+{
+
+SuperPageManager::SuperPageManager(System &system) : system_(system)
+{
+}
+
+std::uint64_t
+SuperPageManager::key(Asid asid, Addr vaddr)
+{
+    return (std::uint64_t(asid) << 48) | (vaddr / kSuperPageSize);
+}
+
+SuperPageManager::Mapping *
+SuperPageManager::find(Asid asid, Addr vaddr)
+{
+    auto it = mappings_.find(key(asid, vaddr));
+    return it == mappings_.end() ? nullptr : &it->second;
+}
+
+const SuperPageManager::Mapping *
+SuperPageManager::find(Asid asid, Addr vaddr) const
+{
+    auto it = mappings_.find(key(asid, vaddr));
+    return it == mappings_.end() ? nullptr : &it->second;
+}
+
+unsigned
+SuperPageManager::segmentOf(const Mapping &m, Addr vaddr) const
+{
+    return unsigned((vaddr - m.baseVaddr) / kSegmentSize);
+}
+
+Addr
+SuperPageManager::allocRun(unsigned pages)
+{
+    // The frame allocator is a bump allocator except under reuse; the
+    // model only needs a stable base address for timing/functional
+    // accesses, so allocate the run and use the first frame as the base.
+    Addr first = system_.physMem().allocFrame();
+    for (unsigned i = 1; i < pages; ++i)
+        system_.physMem().allocFrame();
+    return first;
+}
+
+void
+SuperPageManager::mapSuperPage(Asid asid, Addr vaddr)
+{
+    ovl_assert(vaddr % kSuperPageSize == 0,
+               "super-pages must be 2 MB aligned");
+    ovl_assert(find(asid, vaddr) == nullptr, "super-page already mapped");
+    Mapping m;
+    m.baseVaddr = vaddr;
+    Addr base = allocRun(unsigned(kSuperPageSize / kPageSize));
+    m.segmentPpnBase.resize(64);
+    for (unsigned s = 0; s < 64; ++s)
+        m.segmentPpnBase[s] = base + Addr(s) * kPagesPerSegment;
+    mappings_.emplace(key(asid, vaddr), std::move(m));
+}
+
+void
+SuperPageManager::share(Asid owner, Asid borrower, Addr vaddr)
+{
+    Mapping *owner_map = find(owner, vaddr);
+    ovl_assert(owner_map != nullptr, "sharing an unmapped super-page");
+    ovl_assert(find(borrower, vaddr) == nullptr,
+               "borrower already maps the super-page");
+    Mapping m;
+    m.baseVaddr = vaddr;
+    m.shared = true;
+    m.sharedPpnBase = owner_map->segmentPpnBase[0];
+    m.segmentPpnBase.assign(64, kInvalidAddr);
+    mappings_.emplace(key(borrower, vaddr), std::move(m));
+}
+
+Tick
+SuperPageManager::write(Asid asid, Addr vaddr, Tick when,
+                        SuperPageCowStats *stats)
+{
+    Mapping *m = find(asid, vaddr);
+    ovl_assert(m != nullptr, "write to an unmapped super-page");
+    unsigned seg = segmentOf(*m, vaddr);
+    ovl_assert(!m->readOnly.test(seg),
+               "write to a read-only super-page segment");
+    Tick t = when;
+
+    if (m->shared && !m->remapped.test(seg)) {
+        // Flexible CoW: copy only this 32 KB segment and flip its bit in
+        // the upper-level OBitVector (§5.3.5). A rigid super-page system
+        // would have copied (and, typically, shattered) the whole 2 MB.
+        t += system_.config().pageFaultTrapCycles;
+        Addr src_frame = m->sharedPpnBase + Addr(seg) * kPagesPerSegment;
+        Addr dst_frame = allocRun(kPagesPerSegment);
+        Tick copy_done = t;
+        for (unsigned pg = 0; pg < kPagesPerSegment; ++pg) {
+            system_.physMem().copyFrame(dst_frame + pg, src_frame + pg);
+            for (unsigned l = 0; l < kLinesPerPage; ++l) {
+                Addr src = ((src_frame + pg) << kPageShift) |
+                           (Addr(l) << kLineShift);
+                Addr dst = ((dst_frame + pg) << kPageShift) |
+                           (Addr(l) << kLineShift);
+                Tick rd = system_.caches().access(src, false, t);
+                Tick wr = system_.caches().access(dst, true, rd);
+                copy_done = std::max(copy_done, wr);
+            }
+        }
+        t = copy_done + system_.config().tlbShootdownCycles();
+
+        if (m->remapped.none())
+            rigidBytes_ += kSuperPageSize; // rigid CoW pays 2 MB up front
+        flexibleBytes_ += kSegmentSize;
+        m->segmentPpnBase[seg] = dst_frame;
+        m->remapped.set(seg);
+        if (stats) {
+            ++stats->segmentCopies;
+            stats->bytesCopied += kSegmentSize;
+            if (m->remapped.count() == 1)
+                ++stats->fullPageCopies;
+        }
+    }
+
+    Addr frame = m->remapped.test(seg) || !m->shared
+                     ? m->segmentPpnBase[seg]
+                     : m->sharedPpnBase + Addr(seg) * kPagesPerSegment;
+    Addr offset_in_seg = (vaddr - m->baseVaddr) % kSegmentSize;
+    Addr paddr = (frame << kPageShift) + offset_in_seg;
+    return system_.caches().access(lineBase(paddr), true, t);
+}
+
+void
+SuperPageManager::protectSegment(Asid asid, Addr vaddr, bool writable)
+{
+    Mapping *m = find(asid, vaddr);
+    ovl_assert(m != nullptr, "protecting an unmapped super-page");
+    m->readOnly.assign(segmentOf(*m, vaddr), !writable);
+}
+
+bool
+SuperPageManager::isWritable(Asid asid, Addr vaddr) const
+{
+    const Mapping *m = find(asid, vaddr);
+    ovl_assert(m != nullptr, "probing an unmapped super-page");
+    return !m->readOnly.test(segmentOf(*m, vaddr));
+}
+
+BitVector64
+SuperPageManager::segmentVector(Asid asid, Addr vaddr) const
+{
+    const Mapping *m = find(asid, vaddr);
+    ovl_assert(m != nullptr, "probing an unmapped super-page");
+    return m->remapped;
+}
+
+} // namespace tech
+
+} // namespace ovl

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Technique 7 (§5.3.5): flexible super-pages. A 2 MB super-page mapping
+ * normally forces all-or-nothing management: sharing it copy-on-write
+ * means copying 2 MB on the first write. Applying the overlay idea at
+ * the next page-table level — a 64-bit OBitVector over 64 segments of
+ * 32 KB each — lets the OS remap individual segments while the rest of
+ * the super-page keeps its one-TLB-entry reach.
+ */
+
+#ifndef OVERLAYSIM_TECH_SUPERPAGE_HH
+#define OVERLAYSIM_TECH_SUPERPAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector64.hh"
+#include "system/system.hh"
+
+namespace ovl
+{
+
+namespace tech
+{
+
+/** Super-page geometry: 2 MB pages split into 64 segments of 32 KB. */
+constexpr Addr kSuperPageSize = 2 * 1024 * 1024;
+constexpr Addr kSegmentSize = kSuperPageSize / 64; // 32 KB = 8 base pages
+constexpr unsigned kPagesPerSegment = unsigned(kSegmentSize / kPageSize);
+
+/** Outcome of a super-page CoW service. */
+struct SuperPageCowStats
+{
+    std::uint64_t segmentCopies = 0;  ///< 32 KB segment copies performed
+    std::uint64_t bytesCopied = 0;
+    std::uint64_t fullPageCopies = 0; ///< what the rigid baseline would do
+};
+
+/**
+ * Manager of overlay-style super-pages. Super-pages are backed by
+ * runs of contiguous base frames; sharing is CoW at 32 KB segment
+ * granularity via a per-mapping OBitVector at the upper page-table
+ * level. Per-segment protection domains use the same vector.
+ */
+class SuperPageManager
+{
+  public:
+    explicit SuperPageManager(System &system);
+
+    /** Map a fresh 2 MB super-page at @p vaddr for @p asid. */
+    void mapSuperPage(Asid asid, Addr vaddr);
+
+    /**
+     * Share the super-page at @p vaddr of @p owner with @p borrower,
+     * copy-on-write at segment granularity.
+     */
+    void share(Asid owner, Asid borrower, Addr vaddr);
+
+    /**
+     * Write one address; if its segment is still shared, copy only that
+     * 32 KB segment (setting the OBitVector bit) instead of 2 MB.
+     * Returns the completion time.
+     */
+    Tick write(Asid asid, Addr vaddr, Tick when,
+               SuperPageCowStats *stats = nullptr);
+
+    /** Segment-granular protection: mark one segment read-only. */
+    void protectSegment(Asid asid, Addr vaddr, bool writable);
+
+    /** Is the address writable under the segment protection map? */
+    bool isWritable(Asid asid, Addr vaddr) const;
+
+    /** OBitVector (remapped segments) of a shared super-page. */
+    BitVector64 segmentVector(Asid asid, Addr vaddr) const;
+
+    /** Bytes a rigid 2 MB-granular CoW would have consumed so far. */
+    std::uint64_t rigidBytes() const { return rigidBytes_; }
+
+    /** Bytes the flexible scheme actually consumed. */
+    std::uint64_t flexibleBytes() const { return flexibleBytes_; }
+
+  private:
+    struct Mapping
+    {
+        Addr baseVaddr = 0;
+        /** Private segment frame runs; invalid when still shared. */
+        std::vector<Addr> segmentPpnBase; // 64 entries
+        BitVector64 remapped;             // the upper-level OBitVector
+        BitVector64 readOnly;
+        bool shared = false;
+        Addr sharedPpnBase = 0; ///< base frame of the shared backing run
+    };
+
+    Mapping *find(Asid asid, Addr vaddr);
+    const Mapping *find(Asid asid, Addr vaddr) const;
+    static std::uint64_t key(Asid asid, Addr vaddr);
+    unsigned segmentOf(const Mapping &m, Addr vaddr) const;
+    /** Allocate @p pages contiguous frames; returns the first frame. */
+    Addr allocRun(unsigned pages);
+
+    System &system_;
+    std::unordered_map<std::uint64_t, Mapping> mappings_;
+    std::uint64_t rigidBytes_ = 0;
+    std::uint64_t flexibleBytes_ = 0;
+};
+
+} // namespace tech
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_TECH_SUPERPAGE_HH

@@ -1,0 +1,181 @@
+#include "tlb.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+Tlb::Tlb(std::string name, TlbParams params)
+    : SimObject(std::move(name)), params_(params),
+      numSets_(params.entries / params.associativity),
+      ways_(params.entries),
+      hits_(&statGroup(), "hits", "TLB hits"),
+      misses_(&statGroup(), "misses", "TLB misses"),
+      coherenceUpdates_(&statGroup(), "coherenceUpdates",
+                        "OBitVector bits updated by coherence messages")
+{
+    ovl_assert(params.entries % params.associativity == 0,
+               "TLB entries must divide evenly into sets");
+    ovl_assert(isPowerOf2(numSets_), "TLB set count must be a power of two");
+}
+
+Tlb::Way *
+Tlb::findWay(Asid asid, Addr vpn)
+{
+    Way *set = &ways_[std::size_t(setOf(vpn)) * params_.associativity];
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        if (set[w].valid && set[w].asid == asid && set[w].vpn == vpn)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+TlbEntryData *
+Tlb::lookup(Asid asid, Addr vpn)
+{
+    if (Way *way = findWay(asid, vpn)) {
+        ++hits_;
+        way->lruSeq = ++lruCounter_;
+        return &way->data;
+    }
+    ++misses_;
+    return nullptr;
+}
+
+const TlbEntryData *
+Tlb::probe(Asid asid, Addr vpn) const
+{
+    const Way *way = const_cast<Tlb *>(this)->findWay(asid, vpn);
+    return way ? &way->data : nullptr;
+}
+
+void
+Tlb::insert(Asid asid, Addr vpn, const TlbEntryData &data)
+{
+    if (Way *way = findWay(asid, vpn)) {
+        way->data = data;
+        way->lruSeq = ++lruCounter_;
+        return;
+    }
+    Way *set = &ways_[std::size_t(setOf(vpn)) * params_.associativity];
+    Way *victim = &set[0];
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lruSeq < victim->lruSeq)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->asid = asid;
+    victim->vpn = vpn;
+    victim->data = data;
+    victim->lruSeq = ++lruCounter_;
+}
+
+void
+Tlb::invalidate(Asid asid, Addr vpn)
+{
+    if (Way *way = findWay(asid, vpn))
+        way->valid = false;
+}
+
+void
+Tlb::invalidateAsid(Asid asid)
+{
+    for (Way &way : ways_) {
+        if (way.valid && way.asid == asid)
+            way.valid = false;
+    }
+}
+
+void
+Tlb::flush()
+{
+    for (Way &way : ways_)
+        way.valid = false;
+}
+
+bool
+Tlb::updateObvBit(Asid asid, Addr vpn, unsigned line_in_page, bool value)
+{
+    if (Way *way = findWay(asid, vpn)) {
+        way->data.obv.assign(line_in_page, value);
+        ++coherenceUpdates_;
+        return true;
+    }
+    return false;
+}
+
+TwoLevelTlb::TwoLevelTlb(std::string name, TlbHierarchyParams params)
+    : SimObject(std::move(name)), params_(params),
+      l1_(this->name() + ".l1", params.l1),
+      l2_(this->name() + ".l2", params.l2)
+{
+}
+
+TlbAccessResult
+TwoLevelTlb::access(Asid asid, Addr vpn)
+{
+    TlbAccessResult res;
+    if (TlbEntryData *entry = l1_.lookup(asid, vpn)) {
+        res.entry = entry;
+        res.latency = params_.l1.hitLatency;
+        return res;
+    }
+    if (TlbEntryData *entry = l2_.lookup(asid, vpn)) {
+        // Promote into L1 and return the L1 copy so that coherence
+        // updates through the returned pointer hit the level the core
+        // reads from.
+        l1_.insert(asid, vpn, *entry);
+        res.entry = l1_.lookup(asid, vpn);
+        res.latency = params_.l1.hitLatency + params_.l2.hitLatency;
+        return res;
+    }
+    res.needsWalk = true;
+    res.latency = params_.l1.hitLatency + params_.l2.hitLatency +
+                  params_.walkLatency;
+    return res;
+}
+
+TlbEntryData *
+TwoLevelTlb::fill(Asid asid, Addr vpn, const TlbEntryData &data)
+{
+    l2_.insert(asid, vpn, data);
+    l1_.insert(asid, vpn, data);
+    return l1_.lookup(asid, vpn);
+}
+
+void
+TwoLevelTlb::invalidate(Asid asid, Addr vpn)
+{
+    l1_.invalidate(asid, vpn);
+    l2_.invalidate(asid, vpn);
+}
+
+void
+TwoLevelTlb::invalidateAsid(Asid asid)
+{
+    l1_.invalidateAsid(asid);
+    l2_.invalidateAsid(asid);
+}
+
+void
+TwoLevelTlb::flush()
+{
+    l1_.flush();
+    l2_.flush();
+}
+
+bool
+TwoLevelTlb::updateObvBit(Asid asid, Addr vpn, unsigned line_in_page,
+                          bool value)
+{
+    bool upper = l1_.updateObvBit(asid, vpn, line_in_page, value);
+    bool lower = l2_.updateObvBit(asid, vpn, line_in_page, value);
+    return upper || lower;
+}
+
+} // namespace ovl

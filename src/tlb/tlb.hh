@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Two-level TLB (Table 2: 64-entry 4-way L1, 1 cycle; 1024-entry L2,
+ * 10 cycles; miss cost 1000 cycles). Entries are extended with the
+ * OBitVector of the page (Figure 6, item 3) so the processor can decide
+ * on the L1-cache critical path whether an access targets the overlay.
+ * The `overlaying read exclusive` coherence hook updates a single
+ * OBitVector bit without a shootdown (§4.3.3).
+ */
+
+#ifndef OVERLAYSIM_TLB_TLB_HH
+#define OVERLAYSIM_TLB_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector64.hh"
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace ovl
+{
+
+/**
+ * What a TLB entry caches: the translation, its permission/mode flags,
+ * and the overlay bit vector.
+ */
+struct TlbEntryData
+{
+    Addr ppn = 0;
+    bool writable = false;
+    /** Page is in copy-on-write (or overlay-on-write) sharing mode. */
+    bool cow = false;
+    /** Overlays are enabled for this page (OS opt-in, §2.2). */
+    bool overlayEnabled = false;
+    /** Overlay holds metadata, not alternate data (§5.3.4). */
+    bool metadataMode = false;
+    BitVector64 obv;
+};
+
+/** Configuration of one TLB level. */
+struct TlbParams
+{
+    unsigned entries = 64;
+    unsigned associativity = 4;
+    Tick hitLatency = 1;
+};
+
+/**
+ * One set-associative TLB level, tagged by (ASID, VPN) — no flush on
+ * context switch.
+ */
+class Tlb : public SimObject
+{
+  public:
+    Tlb(std::string name, TlbParams params);
+
+    /** Look up a translation; nullptr on miss. Updates recency on hit. */
+    TlbEntryData *lookup(Asid asid, Addr vpn);
+
+    /** Probe without recency update. */
+    const TlbEntryData *probe(Asid asid, Addr vpn) const;
+
+    /**
+     * Install a translation, evicting the set's LRU entry if needed.
+     * @return the evicted entry's (asid, vpn, data) via out-params when
+     * @p evicted is non-null and an eviction happened.
+     */
+    void insert(Asid asid, Addr vpn, const TlbEntryData &data);
+
+    /** Drop one translation (remap / shootdown). */
+    void invalidate(Asid asid, Addr vpn);
+
+    /** Drop every translation of @p asid (process teardown). */
+    void invalidateAsid(Asid asid);
+
+    /** Drop everything. */
+    void flush();
+
+    /**
+     * Coherence hook: if (asid, vpn) is cached, set OBitVector bit
+     * @p line_in_page (overlaying write) or clear it / rewrite flags
+     * through the returned pointer. Returns true if the entry was
+     * present.
+     */
+    bool updateObvBit(Asid asid, Addr vpn, unsigned line_in_page, bool value);
+
+    const TlbParams &params() const { return params_; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Asid asid = 0;
+        Addr vpn = 0;
+        TlbEntryData data;
+        std::uint64_t lruSeq = 0;
+    };
+
+    unsigned setOf(Addr vpn) const { return unsigned(vpn) & (numSets_ - 1); }
+    Way *findWay(Asid asid, Addr vpn);
+
+    TlbParams params_;
+    unsigned numSets_;
+    std::vector<Way> ways_;
+    std::uint64_t lruCounter_ = 0;
+
+    stats::Counter hits_;
+    stats::Counter misses_;
+    stats::Counter coherenceUpdates_;
+};
+
+/** Parameters of the two-level TLB plus the page-walk cost. */
+struct TlbHierarchyParams
+{
+    TlbParams l1{64, 4, 1};
+    TlbParams l2{1024, 8, 10};
+    Tick walkLatency = 1000; ///< Table 2: TLB miss = 1000 cycles
+};
+
+/** Outcome of a two-level TLB access. */
+struct TlbAccessResult
+{
+    /** Valid entry pointer into the L1 TLB (installed on miss by caller). */
+    TlbEntryData *entry = nullptr;
+    Tick latency = 0;
+    /** True when both levels missed and a page walk is required. */
+    bool needsWalk = false;
+};
+
+/**
+ * L1 + L2 TLB composition. On an L2 hit the entry is promoted into L1;
+ * on a full miss the caller performs the page walk (and the OMT access
+ * for the OBitVector, §4.3) and installs via fill().
+ */
+class TwoLevelTlb : public SimObject
+{
+  public:
+    TwoLevelTlb(std::string name, TlbHierarchyParams params);
+
+    /** Look up (asid, vpn); see TlbAccessResult. */
+    TlbAccessResult access(Asid asid, Addr vpn);
+
+    /** Install a walked translation into both levels. */
+    TlbEntryData *fill(Asid asid, Addr vpn, const TlbEntryData &data);
+
+    /** Invalidate in both levels. */
+    void invalidate(Asid asid, Addr vpn);
+    void invalidateAsid(Asid asid);
+    void flush();
+
+    /** Coherence hook applied to both levels (§4.3.3). */
+    bool updateObvBit(Asid asid, Addr vpn, unsigned line_in_page, bool value);
+
+    const TlbHierarchyParams &params() const { return params_; }
+    Tlb &l1() { return l1_; }
+    Tlb &l2() { return l2_; }
+
+  private:
+    TlbHierarchyParams params_;
+    Tlb l1_;
+    Tlb l2_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_TLB_TLB_HH

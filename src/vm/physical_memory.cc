@@ -1,0 +1,139 @@
+#include "physical_memory.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace ovl
+{
+
+PhysicalMemory::PhysicalMemory(std::string name,
+                               std::uint64_t capacity_bytes)
+    : SimObject(std::move(name)), capacityBytes_(capacity_bytes),
+      framesAllocated_(&statGroup(), "framesAllocated",
+                       "4 KB frames allocated"),
+      framesFreed_(&statGroup(), "framesFreed", "4 KB frames freed"),
+      bytesGauge_(&statGroup(), "bytesInUse", "bytes currently allocated")
+{
+    refCounts_[kZeroFrame] = 1; // permanently live
+}
+
+Addr
+PhysicalMemory::allocFrame()
+{
+    Addr frame;
+    if (!freeFrames_.empty()) {
+        frame = freeFrames_.back();
+        freeFrames_.pop_back();
+    } else {
+        frame = nextFrame_++;
+        if (frame * kPageSize >= capacityBytes_)
+            ovl_fatal("physical memory exhausted (%llu bytes)",
+                      (unsigned long long)capacityBytes_);
+    }
+    refCounts_[frame] = 1;
+    ++framesAllocated_;
+    ++framesInUse_;
+    bytesGauge_.set(std::int64_t(bytesInUse()));
+    return frame;
+}
+
+void
+PhysicalMemory::addRef(Addr frame)
+{
+    auto it = refCounts_.find(frame);
+    ovl_assert(it != refCounts_.end() && it->second > 0,
+               "addRef on an unallocated frame");
+    ++it->second;
+}
+
+void
+PhysicalMemory::release(Addr frame)
+{
+    if (frame == kZeroFrame)
+        return;
+    auto it = refCounts_.find(frame);
+    ovl_assert(it != refCounts_.end() && it->second > 0,
+               "release of an unallocated frame");
+    if (--it->second == 0) {
+        refCounts_.erase(it);
+        contents_.erase(frame);
+        freeFrames_.push_back(frame);
+        ++framesFreed_;
+        --framesInUse_;
+        bytesGauge_.set(std::int64_t(bytesInUse()));
+    }
+}
+
+unsigned
+PhysicalMemory::refCount(Addr frame) const
+{
+    auto it = refCounts_.find(frame);
+    return it == refCounts_.end() ? 0 : it->second;
+}
+
+PageData *
+PhysicalMemory::framePtr(Addr frame)
+{
+    ovl_assert(frame != kZeroFrame, "writing the shared zero frame");
+    auto [it, inserted] = contents_.try_emplace(frame);
+    if (inserted) {
+        it->second = std::make_unique<PageData>();
+        it->second->fill(0);
+    }
+    return it->second.get();
+}
+
+const PageData *
+PhysicalMemory::framePtrConst(Addr frame) const
+{
+    auto it = contents_.find(frame);
+    return it == contents_.end() ? nullptr : it->second.get();
+}
+
+void
+PhysicalMemory::readLine(Addr paddr, LineData &out) const
+{
+    readBytes(paddr & ~kLineMask, out.data(), kLineSize);
+}
+
+void
+PhysicalMemory::writeLine(Addr paddr, const LineData &data)
+{
+    writeBytes(paddr & ~kLineMask, data.data(), kLineSize);
+}
+
+void
+PhysicalMemory::readBytes(Addr paddr, void *out, std::size_t len) const
+{
+    ovl_assert(pageNumber(paddr) == pageNumber(paddr + len - 1),
+               "functional access crosses a page boundary");
+    const PageData *page = framePtrConst(pageNumber(paddr));
+    if (page == nullptr) {
+        std::memset(out, 0, len); // untouched or zero frame: reads as zero
+        return;
+    }
+    std::memcpy(out, page->data() + pageOffset(paddr), len);
+}
+
+void
+PhysicalMemory::writeBytes(Addr paddr, const void *in, std::size_t len)
+{
+    ovl_assert(pageNumber(paddr) == pageNumber(paddr + len - 1),
+               "functional access crosses a page boundary");
+    PageData *page = framePtr(pageNumber(paddr));
+    std::memcpy(page->data() + pageOffset(paddr), in, len);
+}
+
+void
+PhysicalMemory::copyFrame(Addr dst_frame, Addr src_frame)
+{
+    const PageData *src = framePtrConst(src_frame);
+    PageData *dst = framePtr(dst_frame);
+    if (src == nullptr)
+        dst->fill(0);
+    else
+        *dst = *src;
+}
+
+} // namespace ovl

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional main memory: a frame allocator with reference counts (for
+ * copy-on-write sharing) and lazily materialized page contents. Frame 0
+ * is the shared zero frame used both by classic zero-fill-on-demand and
+ * by the sparse-data-structure technique, whose pages all map to a zero
+ * physical page (§5.2).
+ */
+
+#ifndef OVERLAYSIM_VM_PHYSICAL_MEMORY_HH
+#define OVERLAYSIM_VM_PHYSICAL_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace ovl
+{
+
+/** Functional contents of one 4 KB frame. */
+using PageData = std::array<std::uint8_t, kPageSize>;
+
+/**
+ * Frame-granular functional memory. Timing is handled elsewhere (the
+ * DRAM model); this class answers "what bytes live at physical address
+ * P" and tracks allocation/sharing.
+ */
+class PhysicalMemory : public SimObject
+{
+  public:
+    /** Frame number of the shared all-zeroes page. */
+    static constexpr Addr kZeroFrame = 0;
+
+    PhysicalMemory(std::string name, std::uint64_t capacity_bytes);
+
+    /** Allocate a frame with refcount 1; contents read as zero. */
+    Addr allocFrame();
+
+    /** Increment the sharer count of @p frame (fork/CoW). */
+    void addRef(Addr frame);
+
+    /**
+     * Decrement the sharer count; frees the frame when it reaches zero.
+     * The zero frame is never freed.
+     */
+    void release(Addr frame);
+
+    /** Current sharer count (0 = unallocated). */
+    unsigned refCount(Addr frame) const;
+
+    /** Number of frames currently allocated (excluding the zero frame). */
+    std::uint64_t framesInUse() const { return framesInUse_; }
+
+    /** Bytes currently allocated (excluding the zero frame). */
+    std::uint64_t bytesInUse() const { return framesInUse_ * kPageSize; }
+
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+
+    // ----- functional data access (physical addresses) ------------------
+
+    void readLine(Addr paddr, LineData &out) const;
+    void writeLine(Addr paddr, const LineData &data);
+    void readBytes(Addr paddr, void *out, std::size_t len) const;
+    void writeBytes(Addr paddr, const void *in, std::size_t len);
+
+    /** Copy a whole frame's contents. */
+    void copyFrame(Addr dst_frame, Addr src_frame);
+
+  private:
+    PageData *framePtr(Addr frame);
+    const PageData *framePtrConst(Addr frame) const;
+
+    std::uint64_t capacityBytes_;
+    Addr nextFrame_ = 1; ///< frame 0 is the zero frame
+    std::vector<Addr> freeFrames_;
+    std::unordered_map<Addr, unsigned> refCounts_;
+    std::unordered_map<Addr, std::unique_ptr<PageData>> contents_;
+    std::uint64_t framesInUse_ = 0;
+
+    stats::Counter framesAllocated_;
+    stats::Counter framesFreed_;
+    stats::Gauge bytesGauge_;
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_VM_PHYSICAL_MEMORY_HH

@@ -1,0 +1,402 @@
+#include "forkbench.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "system/system.hh"
+
+namespace ovl
+{
+
+namespace
+{
+
+constexpr Addr kHeapBase = 0x1000'0000;
+
+/** Precomputed post-fork write schedule: line-granular virtual addrs. */
+struct WriteSchedule
+{
+    std::vector<Addr> addrs;
+    std::size_t next = 0;
+
+    bool exhausted() const { return next >= addrs.size(); }
+
+    Addr
+    take()
+    {
+        return addrs[next++];
+    }
+};
+
+WriteSchedule
+buildSchedule(const ForkBenchParams &p, Rng &rng)
+{
+    WriteSchedule sched;
+    sched.addrs = buildWriteSchedule(p, rng);
+    return sched;
+}
+
+} // namespace
+
+std::vector<Addr>
+buildWriteSchedule(const ForkBenchParams &p, Rng &rng)
+{
+    // Choose the dirty pages. Streaming sweeps dirty a contiguous
+    // region (a grid pass); the other patterns dirty pages scattered
+    // over the footprint.
+    std::vector<std::uint64_t> pages;
+    if (p.pattern == WritePattern::Streaming) {
+        std::uint64_t start = p.footprintPages > p.dirtyPages
+                                  ? rng.below(p.footprintPages -
+                                              p.dirtyPages)
+                                  : 0;
+        for (std::uint64_t i = 0; i < p.dirtyPages; ++i)
+            pages.push_back(start + i);
+    } else {
+        pages.resize(p.footprintPages);
+        for (std::uint64_t i = 0; i < p.footprintPages; ++i)
+            pages[i] = i;
+        for (std::uint64_t i = 0; i < p.dirtyPages; ++i) {
+            std::uint64_t j = i + rng.below(p.footprintPages - i);
+            std::swap(pages[i], pages[j]);
+        }
+        pages.resize(p.dirtyPages);
+    }
+
+    // Per page, the lines that will be written: an ascending prefix for
+    // the streaming sweep, a random subset otherwise.
+    std::vector<std::vector<unsigned>> lines(p.dirtyPages);
+    unsigned count = std::min<unsigned>(p.linesPerDirtyPage, kLinesPerPage);
+    for (auto &page_lines : lines) {
+        if (p.pattern == WritePattern::Streaming) {
+            for (unsigned l = 0; l < count; ++l)
+                page_lines.push_back(l);
+            continue;
+        }
+        unsigned all[kLinesPerPage];
+        for (unsigned l = 0; l < kLinesPerPage; ++l)
+            all[l] = l;
+        for (unsigned l = 0; l < count; ++l) {
+            unsigned j = l + unsigned(rng.below(kLinesPerPage - l));
+            std::swap(all[l], all[j]);
+        }
+        page_lines.assign(all, all + count);
+    }
+
+    std::vector<Addr> schedule;
+    schedule.reserve(p.dirtyPages * count);
+    switch (p.pattern) {
+      case WritePattern::Streaming:
+      case WritePattern::Clustered:
+        // Page by page; Streaming is fully sequential (ascending pages
+        // and lines), Clustered hops to random pages but writes each
+        // page's (random-order) lines back to back.
+        for (std::size_t pg = 0; pg < lines.size(); ++pg) {
+            for (unsigned l : lines[pg]) {
+                schedule.push_back(kHeapBase + pages[pg] * kPageSize +
+                                   Addr(l) * kLineSize);
+            }
+        }
+        break;
+      case WritePattern::Windowed: {
+        // Writes rotate over a bounded window of active pages (like a
+        // SPEC working set): a given page's successive line writes are
+        // ~window writes apart ("well separated in time", §5.1), while
+        // the active footprint stays TLB-resident.
+        constexpr std::size_t kWindow = 24;
+        std::vector<std::size_t> active;       // page indices in window
+        std::vector<std::size_t> next_line(p.dirtyPages, 0);
+        std::size_t next_page = 0;
+        while (active.size() < kWindow && next_page < lines.size())
+            active.push_back(next_page++);
+        std::size_t cursor = 0;
+        while (!active.empty()) {
+            cursor = cursor % active.size();
+            std::size_t pg = active[cursor];
+            schedule.push_back(kHeapBase + pages[pg] * kPageSize +
+                               Addr(lines[pg][next_line[pg]]) *
+                                   kLineSize);
+            if (++next_line[pg] >= lines[pg].size()) {
+                // Page exhausted: replace it in the window.
+                if (next_page < lines.size()) {
+                    active[cursor] = next_page++;
+                } else {
+                    active.erase(active.begin() +
+                                 std::ptrdiff_t(cursor));
+                }
+            }
+            ++cursor;
+        }
+        break;
+      }
+    }
+    return schedule;
+}
+
+namespace
+{
+
+/**
+ * Emit @p num_instructions of the benchmark's steady-state mix. The read
+ * stream mimics SPEC-class locality: most accesses re-touch recently
+ * used lines (L1 hits), a share streams sequentially through the
+ * footprint (prefetch-friendly), and a tail jumps randomly within the
+ * hot set — overall miss rates in the few-percent range rather than the
+ * cache-hostile uniform-random extreme.
+ */
+void
+streamPhase(OooCore &core, Asid asid, const ForkBenchParams &p, Rng &rng,
+            std::uint64_t num_instructions, WriteSchedule *schedule,
+            std::vector<TraceOp> *record = nullptr)
+{
+    auto execute = [&](const TraceOp &op) {
+        core.executeOp(asid, op);
+        if (record != nullptr)
+            record->push_back(op);
+    };
+    std::uint64_t budget = num_instructions;
+    std::vector<Addr> rewrite_pool; // lines already written (for re-writes)
+    unsigned burst_remaining = 0;   // clustered-pattern page burst
+
+    // Recent-reuse window (the register/stack/L1-resident share).
+    constexpr std::size_t kRecent = 64;
+    Addr recent[kRecent];
+    std::size_t recent_count = 0, recent_head = 0;
+    auto touch = [&](Addr a) {
+        recent[recent_head] = a;
+        recent_head = (recent_head + 1) % kRecent;
+        recent_count = std::min(recent_count + 1, kRecent);
+    };
+
+    // Sequential stream cursor through the footprint.
+    Addr stream_line = 0;
+    Addr footprint_lines = p.footprintPages * kLinesPerPage;
+
+    // Pace fresh-line writes so the schedule spans the whole epoch (a
+    // SPEC process dirties pages steadily, not in an initial burst).
+    double fresh_fraction = 1.0;
+    if (schedule != nullptr) {
+        double expected_writes = double(num_instructions) *
+                                 p.memOpFraction * p.writeFraction;
+        fresh_fraction = expected_writes > 0
+                             ? double(schedule->addrs.size()) /
+                                   expected_writes
+                             : 1.0;
+        fresh_fraction = std::min(1.0, fresh_fraction);
+    }
+
+    while (budget > 0) {
+        // Non-memory instructions between memory ops.
+        double per_mem = 1.0 / p.memOpFraction - 1.0;
+        std::uint32_t compute = std::uint32_t(per_mem);
+        if (rng.chance(per_mem - compute))
+            ++compute;
+        if (compute > 0) {
+            execute(TraceOp::compute(compute));
+            budget -= std::min<std::uint64_t>(budget, compute);
+        }
+        if (budget == 0)
+            break;
+
+        bool is_write = rng.chance(p.writeFraction);
+        if (is_write && schedule != nullptr) {
+            Addr addr;
+            bool take_fresh;
+            if (p.pattern == WritePattern::Clustered) {
+                // Whole-page bursts: once a page's rewrite starts, its
+                // lines are written back to back ("close in time").
+                if (burst_remaining == 0 && !schedule->exhausted() &&
+                    (rewrite_pool.empty() ||
+                     rng.chance(fresh_fraction / p.linesPerDirtyPage))) {
+                    burst_remaining = p.linesPerDirtyPage;
+                }
+                take_fresh = burst_remaining > 0 && !schedule->exhausted();
+                if (take_fresh)
+                    --burst_remaining;
+            } else {
+                take_fresh = !schedule->exhausted() &&
+                             (rewrite_pool.empty() ||
+                              rng.chance(fresh_fraction));
+            }
+            if (take_fresh) {
+                addr = schedule->take();
+                rewrite_pool.push_back(addr);
+                if (p.readModifyWrite) {
+                    // Real update streams read the data they modify
+                    // (read-modify-write); the load brings the line into
+                    // the cache in both mechanisms' worlds.
+                    execute(TraceOp::load(addr));
+                    if (budget > 1)
+                        --budget;
+                }
+            } else if (!rewrite_pool.empty()) {
+                // Re-writes favour recently dirtied lines (temporal
+                // locality of real write streams).
+                std::size_t window = std::min<std::size_t>(
+                    rewrite_pool.size(), 512);
+                std::size_t idx = rewrite_pool.size() - 1 -
+                                  rng.below(window);
+                addr = rewrite_pool[idx];
+            } else {
+                addr = kHeapBase; // degenerate tiny schedule
+            }
+            execute(TraceOp::store(addr));
+            touch(addr);
+        } else if (is_write) {
+            // Warmup writes: anywhere in the footprint.
+            std::uint64_t page = rng.below(p.footprintPages);
+            Addr addr = kHeapBase + page * kPageSize +
+                        rng.below(kLinesPerPage) * kLineSize;
+            execute(TraceOp::store(addr));
+            touch(addr);
+        } else {
+            Addr addr;
+            double dice = rng.uniform();
+            if (dice < p.recentReadShare && recent_count > 0) {
+                // Re-use a recently touched line: an L1 hit.
+                addr = recent[rng.below(recent_count)];
+            } else if (dice < p.recentReadShare + p.streamReadShare) {
+                // Sequential streaming through the footprint.
+                stream_line = (stream_line + 1) % footprint_lines;
+                addr = kHeapBase + stream_line * kLineSize;
+            } else {
+                // Random within the hot set.
+                std::uint64_t page = rng.below(p.hotPages);
+                addr = kHeapBase + page * kPageSize +
+                       rng.below(kLinesPerPage) * kLineSize;
+            }
+            execute(TraceOp::load(addr));
+            touch(addr);
+        }
+        --budget;
+    }
+}
+
+} // namespace
+
+const std::vector<ForkBenchParams> &
+forkBenchSuite()
+{
+    auto make = [](std::string name, unsigned type, std::uint64_t footprint,
+                   std::uint64_t hot, std::uint64_t dirty, unsigned lines,
+                   WritePattern pattern, double write_frac,
+                   std::uint64_t seed) {
+        ForkBenchParams p;
+        p.name = std::move(name);
+        p.type = type;
+        p.footprintPages = footprint;
+        p.hotPages = hot;
+        p.dirtyPages = dirty;
+        p.linesPerDirtyPage = lines;
+        p.pattern = pattern;
+        p.writeFraction = write_frac;
+        p.seed = seed;
+        if (pattern == WritePattern::Streaming) {
+            // Bandwidth-bound streaming codes: more memory traffic,
+            // stream-dominated reads.
+            p.memOpFraction = 0.45;
+            p.recentReadShare = 0.40;
+            p.streamReadShare = 0.50;
+        }
+        if (pattern == WritePattern::Clustered) {
+            // cactus rewrites whole pages wholesale, in dense bursts.
+            p.readModifyWrite = false;
+        }
+        return p;
+    };
+
+    constexpr auto kWin = WritePattern::Windowed;
+    constexpr auto kStream = WritePattern::Streaming;
+    constexpr auto kClust = WritePattern::Clustered;
+    static const std::vector<ForkBenchParams> suite = {
+        // Type 1: low write working set.
+        make("bwaves", 1, 2560, 192, 24, 6, kWin, 0.20, 11),
+        make("hmmer", 1, 1536, 128, 40, 10, kWin, 0.25, 12),
+        make("libq", 1, 1024, 96, 16, 4, kWin, 0.18, 13),
+        make("sphinx3", 1, 2048, 160, 56, 12, kWin, 0.22, 14),
+        make("tonto", 1, 1792, 128, 32, 8, kWin, 0.24, 15),
+        // Type 2: almost all lines of each dirtied page are written.
+        // All but cactus are streaming sweeps (bandwidth-bound).
+        make("bzip2", 2, 3072, 256, 700, 60, kStream, 0.40, 21),
+        make("cactus", 2, 2560, 224, 520, 64, kClust, 0.42, 22),
+        make("lbm", 2, 4096, 320, 900, 62, kStream, 0.45, 23),
+        make("leslie3d", 2, 3584, 288, 650, 58, kStream, 0.40, 24),
+        make("soplex", 2, 2816, 224, 540, 56, kStream, 0.38, 25),
+        // Type 3: only a few lines of each dirtied page are written.
+        make("astar", 3, 4096, 320, 640, 5, kWin, 0.35, 31),
+        make("Gems", 3, 5120, 384, 800, 7, kWin, 0.38, 32),
+        make("mcf", 3, 6144, 448, 1000, 4, kWin, 0.40, 33),
+        make("milc", 3, 3584, 288, 640, 6, kWin, 0.34, 34),
+        make("omnet", 3, 3072, 256, 520, 8, kWin, 0.33, 35),
+    };
+    return suite;
+}
+
+const ForkBenchParams &
+forkBenchByName(const std::string &name)
+{
+    for (const ForkBenchParams &p : forkBenchSuite()) {
+        if (p.name == name)
+            return p;
+    }
+    ovl_fatal("unknown fork benchmark: %s", name.c_str());
+}
+
+ForkBenchResult
+runForkBench(const ForkBenchParams &params, ForkMode mode,
+             SystemConfig config, std::ostream *dump_stats,
+             std::vector<TraceOp> *record)
+{
+    config.name = params.name;
+    System system(config);
+    OooCore core(params.name + ".core", system);
+    Rng rng(params.seed);
+
+    Asid parent = system.createProcess();
+    system.mapAnon(parent, kHeapBase, params.footprintPages * kPageSize);
+
+    // Warmup: populate caches/TLBs and dirty the address space so the
+    // fork has real pages to share.
+    core.beginEpoch(0);
+    streamPhase(core, parent, params, rng, params.warmupInstructions,
+                nullptr);
+    Tick t = core.finishEpoch();
+
+    // fork(): the child idles (as in §5.1); the parent keeps running.
+    Tick fork_done = t;
+    system.fork(parent, mode, t, &fork_done);
+    system.markMemoryBaseline();
+    system.resetStats();
+
+    WriteSchedule schedule = buildSchedule(params, rng);
+    core.beginEpoch(fork_done);
+    streamPhase(core, parent, params, rng, params.postForkInstructions,
+                &schedule, record);
+    Tick end = core.finishEpoch();
+
+    // Memory accounting happens at steady state: dirty overlay lines
+    // still in the caches get their OMS slots on eviction (§4.3.3), so
+    // force the writebacks before measuring (the flush is excluded from
+    // the measured epoch).
+    system.caches().flushAll(end);
+
+    ForkBenchResult res;
+    res.name = params.name;
+    res.type = params.type;
+    res.mode = mode;
+    res.additionalMemoryMB =
+        double(system.additionalMemoryBytes()) / double(1_MiB);
+    res.cpi = core.epochCpi();
+    res.cowFaults = system.cowFaults();
+    res.overlayingWrites = system.overlayingWrites();
+    res.forkLatency = fork_done - t;
+    if (dump_stats != nullptr) {
+        system.dumpAllStats(*dump_stats);
+        core.dumpStats(*dump_stats);
+    }
+    return res;
+}
+
+} // namespace ovl

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The fork/checkpoint workload of §5.1, rebuilt synthetically (see
+ * DESIGN.md §3.1). Each of the paper's 15 SPEC CPU2006 benchmarks is
+ * represented by a generator that reproduces the property the experiment
+ * measures — the size and shape of the post-fork write working set:
+ *
+ *  - Type 1: small write working set (few dirtied pages);
+ *  - Type 2: nearly every line of each dirtied page is written (one
+ *    benchmark, cactus, writes a page's lines clustered in time, which
+ *    is the case where copy-on-write's high-MLP copy wins);
+ *  - Type 3: only a few lines of each dirtied page are written.
+ *
+ * The experiment: warm up, fork(), then run the parent while the child
+ * idles; measure additional memory (Figure 8) and CPI (Figure 9).
+ */
+
+#ifndef OVERLAYSIM_WORKLOAD_FORKBENCH_HH
+#define OVERLAYSIM_WORKLOAD_FORKBENCH_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "system/config.hh"
+#include "vm/vmm.hh"
+
+namespace ovl
+{
+
+/** Temporal/spatial shape of the post-fork write stream. */
+enum class WritePattern
+{
+    /**
+     * Writes rotate over a bounded window of pages: a page's lines are
+     * written well separated in time (Type 1/3 point-update codes).
+     */
+    Windowed,
+    /**
+     * Sequential sweep: ascending pages, ascending lines — the
+     * bandwidth-bound streaming stencils (lbm, leslie3d; Type 2).
+     */
+    Streaming,
+    /**
+     * Random page order but all of a page's lines written back to back:
+     * writes to a page's lines are close in time, the regime where
+     * copy-on-write's single high-MLP page copy wins (cactus, §5.1).
+     */
+    Clustered,
+};
+
+/** Parameters of one synthetic fork benchmark. */
+struct ForkBenchParams
+{
+    std::string name;
+    unsigned type = 1; ///< paper's write-working-set taxonomy (1/2/3)
+
+    std::uint64_t footprintPages = 2048;     ///< mapped + touched pages
+    std::uint64_t hotPages = 256;            ///< read-locality set
+    std::uint64_t dirtyPages = 64;           ///< pages written post-fork
+    unsigned linesPerDirtyPage = 8;          ///< distinct lines per page
+    WritePattern pattern = WritePattern::Windowed;
+
+    std::uint64_t warmupInstructions = 800'000;
+    std::uint64_t postForkInstructions = 6'000'000;
+
+    double memOpFraction = 0.35;  ///< memory ops per instruction
+    double writeFraction = 0.35;  ///< writes among memory ops
+    /**
+     * Read-mix composition: recently-touched lines (L1-class reuse),
+     * then sequential streaming, remainder random within the hot set.
+     * Streaming-heavy mixes model bandwidth-bound codes (lbm, leslie3d).
+     */
+    double recentReadShare = 0.65;
+    double streamReadShare = 0.25;
+    /**
+     * Fresh-line writes load the line first (read-modify-write). False
+     * models wholesale overwrites (cactus rewrites whole pages).
+     */
+    bool readModifyWrite = true;
+    std::uint64_t seed = 1;
+};
+
+/** Measured outcome of one benchmark under one fork mode. */
+struct ForkBenchResult
+{
+    std::string name;
+    unsigned type = 0;
+    ForkMode mode = ForkMode::CopyOnWrite;
+    double additionalMemoryMB = 0.0; ///< Figure 8's y-axis
+    double cpi = 0.0;                ///< Figure 9's y-axis
+    std::uint64_t cowFaults = 0;
+    std::uint64_t overlayingWrites = 0;
+    Tick forkLatency = 0;
+};
+
+/** The 15-benchmark suite (5 per type), named per Figure 8. */
+const std::vector<ForkBenchParams> &forkBenchSuite();
+
+/** Look up one suite benchmark by name. */
+const ForkBenchParams &forkBenchByName(const std::string &name);
+
+/**
+ * The post-fork write schedule (line-granular virtual addresses) a
+ * benchmark will issue, in order — exposed for tests and trace tooling.
+ */
+std::vector<Addr> buildWriteSchedule(const ForkBenchParams &params,
+                                     Rng &rng);
+
+/**
+ * Run one benchmark under @p mode on a fresh system configured by
+ * @p config (pass a default SystemConfig for Table 2). When
+ * @p dump_stats is non-null, the post-fork component statistics are
+ * dumped there after the run. When @p record is non-null, the post-fork
+ * instruction stream is appended to it (replayable with OooCore::run or
+ * `overlaysim trace run`; note the replay machine starts un-forked, so
+ * replay measures the access pattern, not the CoW/OoW divergence).
+ */
+ForkBenchResult runForkBench(const ForkBenchParams &params, ForkMode mode,
+                             SystemConfig config,
+                             std::ostream *dump_stats = nullptr,
+                             std::vector<TraceOp> *record = nullptr);
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_WORKLOAD_FORKBENCH_HH

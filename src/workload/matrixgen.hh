@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generator replacing the UF Sparse Matrix
+ * Collection [16] (unavailable offline; see DESIGN.md §3.2). Matrices
+ * are generated to hit a target non-zero value locality L — the quantity
+ * Figure 10 is organized around — using four structural families, and
+ * the 87-matrix suite spans L in [1.05, 8.0] with the paper's extremes
+ * named after their UF counterparts (poisson3Db: L~1.09; raefsky4: L=8).
+ */
+
+#ifndef OVERLAYSIM_WORKLOAD_MATRIXGEN_HH
+#define OVERLAYSIM_WORKLOAD_MATRIXGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/matrix.hh"
+
+namespace ovl
+{
+
+/** Structural family of a generated matrix. */
+enum class MatrixFamily
+{
+    Scattered, ///< non-zero lines uniformly random
+    Banded,    ///< non-zero lines hug the diagonal
+    BlockDense,///< runs of consecutive non-zero lines
+    PowerLaw,  ///< a few rows own most non-zero lines
+};
+
+/** Recipe for one synthetic matrix. */
+struct MatrixSpec
+{
+    std::string name;
+    MatrixFamily family = MatrixFamily::Scattered;
+    std::uint32_t rows = 1024;
+    std::uint32_t cols = 1024; ///< must be a multiple of 8
+    std::uint64_t nnz = 60'000;
+    double targetL = 4.0; ///< average non-zeros per non-zero line (<= 8)
+    /** Mean run length (in lines) of BlockDense runs. */
+    unsigned blockRunLines = 24;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a canonicalized COO matrix per @p spec. */
+CooMatrix generateMatrix(const MatrixSpec &spec);
+
+/** The 87-matrix Figure 10 suite, sorted by ascending target L. */
+std::vector<MatrixSpec> sparseSuite87();
+
+/**
+ * Uniform-sparsity matrix for the in-text dense-vs-overlay sweep: a
+ * fraction @p zero_line_fraction of cache lines is exactly zero; the
+ * rest are fully dense (L = 8).
+ */
+CooMatrix generateUniformSparsity(std::uint32_t rows, std::uint32_t cols,
+                                  double zero_line_fraction,
+                                  std::uint64_t seed);
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_WORKLOAD_MATRIXGEN_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the runtime debug-trace flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/debug.hh"
+
+namespace ovl
+{
+namespace
+{
+
+class DebugFlags : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        for (unsigned i = 0; i < unsigned(debug::Flag::NumFlags); ++i)
+            debug::setFlag(debug::Flag(i), false);
+    }
+};
+
+TEST_F(DebugFlags, DefaultOff)
+{
+    debug::setFlag(debug::Flag::dram, false); // pin parsed state
+    for (unsigned i = 0; i < unsigned(debug::Flag::NumFlags); ++i)
+        EXPECT_FALSE(debug::enabled(debug::Flag(i)));
+}
+
+TEST_F(DebugFlags, SetAndClear)
+{
+    debug::setFlag(debug::Flag::overlay, true);
+    EXPECT_TRUE(debug::enabled(debug::Flag::overlay));
+    EXPECT_FALSE(debug::enabled(debug::Flag::dram));
+    debug::setFlag(debug::Flag::overlay, false);
+    EXPECT_FALSE(debug::enabled(debug::Flag::overlay));
+}
+
+TEST_F(DebugFlags, ListParsing)
+{
+    debug::enableFromList("dram,tlb");
+    EXPECT_TRUE(debug::enabled(debug::Flag::dram));
+    EXPECT_TRUE(debug::enabled(debug::Flag::tlb));
+    EXPECT_FALSE(debug::enabled(debug::Flag::cache));
+}
+
+TEST_F(DebugFlags, AllEnablesEverything)
+{
+    debug::enableFromList("all");
+    for (unsigned i = 0; i < unsigned(debug::Flag::NumFlags); ++i)
+        EXPECT_TRUE(debug::enabled(debug::Flag(i)));
+}
+
+TEST_F(DebugFlags, UnknownNamesAreIgnored)
+{
+    debug::enableFromList("nonsense,,overlay");
+    EXPECT_TRUE(debug::enabled(debug::Flag::overlay));
+    EXPECT_FALSE(debug::enabled(debug::Flag::system));
+}
+
+TEST_F(DebugFlags, NamesRoundTrip)
+{
+    for (unsigned i = 0; i < unsigned(debug::Flag::NumFlags); ++i) {
+        debug::enableFromList(debug::flagName(debug::Flag(i)));
+        EXPECT_TRUE(debug::enabled(debug::Flag(i)))
+            << debug::flagName(debug::Flag(i));
+    }
+}
+
+} // namespace
+} // namespace ovl

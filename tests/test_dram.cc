@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the DDR3 timing model and the FR-FCFS/write-buffer
+ * controller (Table 2 parameters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/dram.hh"
+
+namespace ovl
+{
+namespace
+{
+
+DramTimingParams
+params()
+{
+    return DramTimingParams{};
+}
+
+TEST(DramModel, RowHitIsFasterThanRowMiss)
+{
+    DramModel dram("dram", params());
+    // First access to a closed bank: activate + CAS.
+    Tick first = dram.accessLatency(0x0, false, 0);
+    // Same row: row hit.
+    Tick hit = dram.access(0x40, false, 1'000'000) - 1'000'000;
+    // Different row, same bank: precharge + activate + CAS.
+    Addr conflict_addr = params().rowBufferBytes * params().numBanks;
+    Tick conflict = dram.access(conflict_addr, false, 2'000'000) - 2'000'000;
+    EXPECT_LT(hit, first);
+    EXPECT_LT(first, conflict);
+    EXPECT_EQ(dram.rowHits(), 1u);
+    EXPECT_EQ(dram.rowConflicts(), 1u);
+}
+
+TEST(DramModel, RowHitLatencyMatchesTiming)
+{
+    DramModel dram("dram", params());
+    dram.access(0x0, false, 0); // open the row
+    Tick hit = dram.access(0x40, false, 10'000) - 10'000;
+    DramTimingParams p = params();
+    EXPECT_EQ(hit, p.toCpu(p.tCL + p.burstClocks()));
+}
+
+TEST(DramModel, BankMappingInterleaves)
+{
+    DramModel dram("dram", params());
+    // Consecutive row-buffer-sized chunks land in different banks.
+    unsigned b0 = dram.bankOf(0);
+    unsigned b1 = dram.bankOf(params().rowBufferBytes);
+    EXPECT_NE(b0, b1);
+    // Within one row buffer, the bank does not change.
+    EXPECT_EQ(dram.bankOf(0), dram.bankOf(params().rowBufferBytes - 64));
+    // All banks are reachable.
+    std::set<unsigned> banks;
+    for (unsigned i = 0; i < params().numBanks; ++i)
+        banks.insert(dram.bankOf(Addr(i) * params().rowBufferBytes));
+    EXPECT_EQ(banks.size(), params().numBanks);
+}
+
+TEST(DramModel, BusSerializesConcurrentBursts)
+{
+    DramModel dram("dram", params());
+    // Two accesses to different banks issued at the same tick cannot
+    // both finish at the single-burst latency: the data bus serializes.
+    Tick done_a = dram.access(0, false, 0);
+    Tick done_b = dram.access(params().rowBufferBytes, false, 0);
+    EXPECT_GE(done_b, done_a + params().toCpu(params().burstClocks()));
+}
+
+TEST(DramModel, BankBusyDelaysNextAccess)
+{
+    DramModel dram("dram", params());
+    Tick done_a = dram.access(0, false, 0);
+    // Same bank, same row, issued immediately: must wait for the bank.
+    Tick done_b = dram.access(64, false, 0);
+    EXPECT_GT(done_b, done_a);
+}
+
+TEST(DramModel, TimeNeverGoesBackwards)
+{
+    DramModel dram("dram", params());
+    Tick t = 0;
+    for (int i = 0; i < 100; ++i) {
+        Tick done = dram.access(Addr(i) * 64 * 37, i % 3 == 0, t);
+        EXPECT_GE(done, t);
+        t = done;
+    }
+}
+
+TEST(DramController, ReadAddsControllerOverhead)
+{
+    DramController ctrl("ctrl", params());
+    Tick done = ctrl.read(0, 0);
+    DramTimingParams p = params();
+    EXPECT_GE(done, p.controllerOverhead +
+                        p.toCpu(p.tRCD + p.tCL + p.burstClocks()));
+}
+
+TEST(DramController, WritesAreBufferedNotImmediate)
+{
+    DramController ctrl("ctrl", params());
+    Tick accept = ctrl.enqueueWrite(0, 0);
+    // Acceptance is cheap (no DRAM access on the critical path).
+    EXPECT_LE(accept, params().controllerOverhead);
+    EXPECT_EQ(ctrl.writeBufferOccupancy(), 1u);
+    EXPECT_EQ(ctrl.dram().rowHits() + ctrl.dram().rowConflicts(), 0u);
+}
+
+TEST(DramController, BufferDrainsWhenFull)
+{
+    DramController ctrl("ctrl", params(), 8);
+    for (int i = 0; i < 7; ++i)
+        ctrl.enqueueWrite(Addr(i) * 64, 0);
+    EXPECT_EQ(ctrl.writeBufferOccupancy(), 7u);
+    EXPECT_EQ(ctrl.drains(), 0u);
+    ctrl.enqueueWrite(7 * 64, 0);
+    EXPECT_EQ(ctrl.writeBufferOccupancy(), 0u);
+    EXPECT_EQ(ctrl.drains(), 1u);
+}
+
+TEST(DramController, ReadsStallBehindDrain)
+{
+    DramController ctrl("ctrl", params(), 4);
+    for (int i = 0; i < 4; ++i)
+        ctrl.enqueueWrite(Addr(i) * params().rowBufferBytes, 0);
+    // The drain is now occupying DRAM; an immediate read waits.
+    Tick stalled = ctrl.read(0x100000, 1) - 1;
+    DramController fresh("fresh", params(), 4);
+    Tick unstalled = fresh.read(0x100000, 1) - 1;
+    EXPECT_GT(stalled, unstalled);
+}
+
+TEST(DramController, ExplicitDrainEmptiesBuffer)
+{
+    DramController ctrl("ctrl", params());
+    ctrl.enqueueWrite(0, 0);
+    ctrl.enqueueWrite(64, 0);
+    Tick done = ctrl.drainWrites(100);
+    EXPECT_GE(done, 100u);
+    EXPECT_EQ(ctrl.writeBufferOccupancy(), 0u);
+    // Draining an empty buffer is a no-op.
+    EXPECT_EQ(ctrl.drainWrites(done), done);
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Figure-shape guard tests: small, fast versions of the paper's
+ * evaluation results that pin the *direction* of every headline claim,
+ * so a regression in any model component that would flip a conclusion
+ * fails CI long before the full benches are rerun.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "overlay/hw_cost.hh"
+#include "sparse/csr.hh"
+#include "sparse/overlay_matrix.hh"
+#include "sparse/spmv.hh"
+#include "workload/forkbench.hh"
+#include "workload/matrixgen.hh"
+
+namespace ovl
+{
+namespace
+{
+
+/** Run overlay and CSR SpMV on one generated matrix; return the pair. */
+std::pair<SpmvResult, SpmvResult>
+runPair(const MatrixSpec &spec, std::uint64_t *overlay_bytes,
+        std::uint64_t *csr_bytes)
+{
+    CooMatrix coo = generateMatrix(spec);
+    std::vector<double> x(coo.cols);
+    Rng rng(3);
+    for (double &v : x)
+        v = rng.uniform();
+    SpmvAddrs addrs;
+
+    System ovl_sys((SystemConfig()));
+    OooCore ovl_core("core", ovl_sys);
+    Asid ovl_asid = ovl_sys.createProcess();
+    installVectors(ovl_sys, ovl_asid, addrs, x, coo.rows);
+    OverlayMatrix matrix(ovl_sys, ovl_asid, addrs.aBase);
+    matrix.build(coo);
+    SpmvResult overlay = spmvOverlay(ovl_sys, ovl_core, matrix, addrs, x, 0);
+    if (overlay_bytes)
+        *overlay_bytes = matrix.storedBytes();
+
+    System csr_sys((SystemConfig()));
+    OooCore csr_core("core", csr_sys);
+    Asid csr_asid = csr_sys.createProcess();
+    installVectors(csr_sys, csr_asid, addrs, x, coo.rows);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    installCsr(csr_sys, csr_asid, addrs, csr);
+    csr_sys.quiesce();
+    SpmvResult csr_res = spmvCsr(csr_sys, csr_core, csr_asid, addrs, csr,
+                                 x, 0);
+    if (csr_bytes)
+        *csr_bytes = csr.bytes();
+    return {overlay, csr_res};
+}
+
+TEST(Figure10Shape, CsrWinsAtLowLocality)
+{
+    MatrixSpec spec;
+    spec.targetL = 1.2;
+    spec.nnz = 20'000;
+    std::uint64_t ovl_bytes = 0, csr_bytes = 0;
+    auto [overlay, csr] = runPair(spec, &ovl_bytes, &csr_bytes);
+    EXPECT_GT(overlay.cycles, csr.cycles);  // paper: 0.30x perf at L=1.09
+    EXPECT_GT(ovl_bytes, csr_bytes * 2);    // paper: 4.83x memory
+}
+
+TEST(Figure10Shape, OverlaysWinAtHighLocality)
+{
+    MatrixSpec spec;
+    spec.family = MatrixFamily::BlockDense;
+    spec.blockRunLines = 128;
+    spec.targetL = 8.0;
+    spec.nnz = 20'000;
+    std::uint64_t ovl_bytes = 0, csr_bytes = 0;
+    auto [overlay, csr] = runPair(spec, &ovl_bytes, &csr_bytes);
+    EXPECT_LT(overlay.cycles, csr.cycles);  // paper: 1.92x perf at L=8
+    EXPECT_LT(ovl_bytes, csr_bytes);        // paper: 0.66x memory
+}
+
+TEST(Figure10Shape, PerformanceImprovesMonotonicallyWithL)
+{
+    Tick prev = kMaxTick;
+    for (double l : {1.5, 4.0, 7.5}) {
+        MatrixSpec spec;
+        spec.targetL = l;
+        spec.nnz = 20'000;
+        if (l >= 5.5) {
+            spec.family = MatrixFamily::BlockDense;
+            spec.blockRunLines = 128;
+        }
+        auto [overlay, csr] = runPair(spec, nullptr, nullptr);
+        (void)csr;
+        EXPECT_LT(overlay.cycles, prev) << "at L=" << l;
+        prev = overlay.cycles;
+    }
+}
+
+TEST(Figure10bShape, OverlayGainGrowsWithZeroLines)
+{
+    double prev_speedup = 0.0;
+    for (double zero_frac : {0.2, 0.5, 0.8}) {
+        CooMatrix coo = generateUniformSparsity(128, 128, zero_frac, 9);
+        std::vector<double> x(coo.cols, 1.0);
+        SpmvAddrs addrs;
+
+        System d_sys((SystemConfig()));
+        OooCore d_core("core", d_sys);
+        Asid d_asid = d_sys.createProcess();
+        installVectors(d_sys, d_asid, addrs, x, coo.rows);
+        installDense(d_sys, d_asid, addrs.aBase, coo);
+        d_sys.quiesce();
+        SpmvResult dense = spmvDense(d_sys, d_core, d_asid, addrs,
+                                     DenseLayout(coo.rows, coo.cols), x, 0);
+
+        System o_sys((SystemConfig()));
+        OooCore o_core("core", o_sys);
+        Asid o_asid = o_sys.createProcess();
+        installVectors(o_sys, o_asid, addrs, x, coo.rows);
+        OverlayMatrix m(o_sys, o_asid, addrs.aBase);
+        m.build(coo);
+        SpmvResult overlay = spmvOverlay(o_sys, o_core, m, addrs, x, 0);
+
+        double speedup = double(dense.cycles) / double(overlay.cycles);
+        EXPECT_GT(speedup, prev_speedup)
+            << "at zero fraction " << zero_frac;
+        prev_speedup = speedup;
+    }
+    EXPECT_GT(prev_speedup, 1.5); // clearly ahead by 80% zero lines
+}
+
+TEST(Figure11Shape, OverheadGrowsWithGranularity)
+{
+    MatrixSpec spec;
+    spec.targetL = 2.0;
+    spec.nnz = 20'000;
+    CooMatrix coo = generateMatrix(spec);
+    double ideal = double(analyzeMatrix(coo, 64).nnz) * 8.0;
+    double prev = 0.0;
+    for (std::uint64_t block : {16ull, 64ull, 256ull, 4096ull}) {
+        MatrixStats stats = analyzeMatrix(coo, block);
+        double overhead = double(stats.nonZeroBlocks * block) / ideal;
+        EXPECT_GE(overhead, prev) << "at block " << block;
+        prev = overhead;
+    }
+    EXPECT_GT(prev, 4.0); // page granularity is many times the ideal
+}
+
+TEST(Figure9Shape, TypeThreeSpeedupExceedsTypeOne)
+{
+    auto speedup = [](const char *name) {
+        ForkBenchParams p = forkBenchByName(name);
+        p.warmupInstructions = 40'000;
+        p.postForkInstructions = 400'000;
+        ForkBenchResult cow =
+            runForkBench(p, ForkMode::CopyOnWrite, SystemConfig{});
+        ForkBenchResult oow =
+            runForkBench(p, ForkMode::OverlayOnWrite, SystemConfig{});
+        return cow.cpi / oow.cpi;
+    };
+    double type1 = speedup("bwaves");
+    double type3 = speedup("mcf");
+    EXPECT_GT(type3, type1);
+    EXPECT_GT(type3, 1.1); // Type 3 is where overlays shine (Figure 9)
+}
+
+TEST(Section45Shape, HardwareCostStaysWithinBudget)
+{
+    // The paper's pitch depends on the added hardware being ~100 KB.
+    HwCost cost = computeHwCost(HwCostParams{});
+    EXPECT_LT(cost.totalBytes(), 100 * 1024u);
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the three-level cache hierarchy: service levels, latency
+ * ordering, dirty-victim cascades, prefetch fills, retagging and
+ * flushes. A recording backend stands in for the memory controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+
+namespace ovl
+{
+namespace
+{
+
+/** MemBackend that records traffic and applies a fixed latency. */
+class RecordingBackend : public MemBackend
+{
+  public:
+    Tick
+    readLine(Addr line_addr, Tick when) override
+    {
+        reads.push_back(line_addr);
+        return when + latency;
+    }
+
+    Tick
+    writebackLine(Addr line_addr, Tick when) override
+    {
+        writebacks.push_back(line_addr);
+        return when + 1;
+    }
+
+    std::vector<Addr> reads;
+    std::vector<Addr> writebacks;
+    Tick latency = 200;
+};
+
+HierarchyParams
+tinyParams()
+{
+    HierarchyParams p;
+    p.l1 = CacheParams{1024, 2, 1, 2, true, ReplPolicy::LRU};
+    p.l2 = CacheParams{4096, 4, 2, 8, true, ReplPolicy::LRU};
+    p.l3 = CacheParams{16384, 8, 10, 24, false, ReplPolicy::DRRIP};
+    p.prefetcher.enabled = false;
+    return p;
+}
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest() : hier("h", tinyParams(), backend) {}
+
+    RecordingBackend backend;
+    CacheHierarchy hier;
+};
+
+TEST_F(HierarchyTest, MissGoesToMemoryThenHitsL1)
+{
+    HitLevel level;
+    Tick t1 = hier.access(0x1000, false, 0, &level);
+    EXPECT_EQ(level, HitLevel::Memory);
+    EXPECT_GE(t1, backend.latency);
+    EXPECT_EQ(backend.reads.size(), 1u);
+
+    Tick t2 = hier.access(0x1000, false, t1, &level) - t1;
+    EXPECT_EQ(level, HitLevel::L1);
+    EXPECT_EQ(t2, tinyParams().l1.hitLatency());
+}
+
+TEST_F(HierarchyTest, LatencyOrderingAcrossLevels)
+{
+    // Fill a line, then evict it from L1 only, to measure an L2 hit.
+    hier.access(0x0, false, 0);
+    hier.l1().invalidate(0x0);
+    HitLevel level;
+    Tick l2_lat = hier.access(0x0, false, 1000, &level) - 1000;
+    EXPECT_EQ(level, HitLevel::L2);
+
+    hier.l1().invalidate(0x0);
+    hier.l2().invalidate(0x0);
+    Tick l3_lat = hier.access(0x0, false, 2000, &level) - 2000;
+    EXPECT_EQ(level, HitLevel::L3);
+
+    Tick l1_lat = hier.access(0x0, false, 3000, &level) - 3000;
+    EXPECT_EQ(level, HitLevel::L1);
+
+    EXPECT_LT(l1_lat, l2_lat);
+    EXPECT_LT(l2_lat, l3_lat);
+    EXPECT_LT(l3_lat, backend.latency);
+}
+
+TEST_F(HierarchyTest, DemandFillsAllThreeLevels)
+{
+    hier.access(0x4000, false, 0);
+    EXPECT_TRUE(hier.l1().isPresent(0x4000));
+    EXPECT_TRUE(hier.l2().isPresent(0x4000));
+    EXPECT_TRUE(hier.l3().isPresent(0x4000));
+}
+
+TEST_F(HierarchyTest, DirtyVictimCascadesToL2)
+{
+    // Dirty a line, then force it out of the tiny L1 (8 sets x 2 ways)
+    // with conflicting accesses.
+    hier.access(0x0, true, 0);
+    Addr stride = Addr(hier.l1().numSets()) * kLineSize;
+    hier.access(stride, false, 0);
+    hier.access(2 * stride, false, 0);
+    EXPECT_FALSE(hier.l1().isPresent(0x0));
+    // The dirty line must still be dirty somewhere below.
+    EXPECT_TRUE(hier.l2().isPresent(0x0) || hier.l3().isPresent(0x0));
+    EXPECT_TRUE(backend.writebacks.empty());
+}
+
+TEST_F(HierarchyTest, FlushWritesBackDirtyLines)
+{
+    hier.access(0x0, true, 0);
+    hier.access(0x1000, false, 0);
+    hier.flushAll(100);
+    EXPECT_EQ(backend.writebacks.size(), 1u);
+    EXPECT_EQ(backend.writebacks[0], 0u);
+    EXPECT_FALSE(hier.l1().isPresent(0x0));
+    EXPECT_FALSE(hier.l3().isPresent(0x1000));
+}
+
+TEST_F(HierarchyTest, InvalidateLineWritesBackDirty)
+{
+    hier.access(0x2000, true, 0);
+    hier.invalidateLine(0x2000, 50);
+    EXPECT_EQ(backend.writebacks.size(), 1u);
+    EXPECT_FALSE(hier.l1().isPresent(0x2000));
+}
+
+TEST_F(HierarchyTest, InvalidateCleanLineWritesNothing)
+{
+    hier.access(0x2000, false, 0);
+    hier.invalidateLine(0x2000, 50);
+    EXPECT_TRUE(backend.writebacks.empty());
+}
+
+TEST_F(HierarchyTest, RetagMovesLineToOverlayAddress)
+{
+    Addr phys = 0x8000;
+    Addr overlay = phys | (Addr(1) << 63);
+    hier.access(phys, true, 0);
+    EXPECT_TRUE(hier.retagLine(phys, overlay, 5));
+    EXPECT_FALSE(hier.l1().isPresent(phys));
+    EXPECT_TRUE(hier.l1().isPresent(overlay));
+    // Dirtiness survives the retag: a flush writes the overlay address.
+    hier.flushAll(10);
+    ASSERT_EQ(backend.writebacks.size(), 1u);
+    EXPECT_EQ(backend.writebacks[0], overlay);
+}
+
+TEST_F(HierarchyTest, RetagMissingLineReturnsFalse)
+{
+    EXPECT_FALSE(hier.retagLine(0xAB00, 0xAB00 | (Addr(1) << 63), 5));
+}
+
+TEST(HierarchyPrefetch, StreamMissesPrefetchIntoL3)
+{
+    RecordingBackend backend;
+    HierarchyParams p = tinyParams();
+    p.prefetcher.enabled = true;
+    CacheHierarchy hier("h", p, backend);
+
+    // Two adjacent demand misses train a stream.
+    hier.access(0x10000, false, 0);
+    hier.access(0x10040, false, 100);
+    EXPECT_GT(hier.prefetcher().issued(), 0u);
+    // Prefetched lines are in L3 but not L1.
+    EXPECT_TRUE(hier.l3().isPresent(0x10080));
+    EXPECT_FALSE(hier.l1().isPresent(0x10080));
+}
+
+TEST(HierarchyPrefetch, PrefetchHitsReduceDemandLatency)
+{
+    RecordingBackend backend;
+    HierarchyParams p = tinyParams();
+    p.prefetcher.enabled = true;
+    CacheHierarchy hier("h", p, backend);
+
+    hier.access(0x10000, false, 0);
+    hier.access(0x10040, false, 1000);
+    HitLevel level;
+    Tick lat = hier.access(0x10080, false, 2000, &level) - 2000;
+    EXPECT_EQ(level, HitLevel::L3);
+    EXPECT_LT(lat, backend.latency);
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the Overlay Mapping Table and the memory-controller OMT
+ * cache (§4.2, §4.4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "overlay/omt.hh"
+
+namespace ovl
+{
+namespace
+{
+
+class OmtTest : public ::testing::Test
+{
+  protected:
+    Addr next_ = 0x100000;
+    Omt omt{"omt", [this] { return next_ += kPageSize; }};
+};
+
+TEST_F(OmtTest, FindOrCreateAndErase)
+{
+    EXPECT_EQ(omt.find(42), nullptr);
+    OmtEntry &e = omt.findOrCreate(42);
+    e.obv.set(3);
+    ASSERT_NE(omt.find(42), nullptr);
+    EXPECT_TRUE(omt.find(42)->obv.test(3));
+    EXPECT_EQ(omt.size(), 1u);
+    omt.erase(42);
+    EXPECT_EQ(omt.find(42), nullptr);
+    EXPECT_EQ(omt.size(), 0u);
+}
+
+TEST_F(OmtTest, WalkTouchesFourLevelsForExistingEntries)
+{
+    // Walks never allocate: an absent subtree terminates immediately...
+    std::vector<Addr> walk;
+    omt.walkAddresses(0x12345, walk);
+    EXPECT_TRUE(walk.empty());
+    // ...while entry creation materializes the full radix path.
+    omt.findOrCreate(0x12345);
+    omt.walkAddresses(0x12345, walk);
+    EXPECT_EQ(walk.size(), Omt::kWalkLevels);
+}
+
+TEST_F(OmtTest, WalkOfNeighbouringAbsentEntryStopsAtSharedLevels)
+{
+    omt.findOrCreate(0x12345);
+    // A nearby OPN shares the upper levels but has no deeper nodes of
+    // its own (same leaf range here, so the walk reaches the leaf).
+    std::vector<Addr> walk;
+    omt.walkAddresses(0x12346, walk);
+    EXPECT_EQ(walk.size(), Omt::kWalkLevels);
+    // A distant OPN diverges at the root's child: only the root exists.
+    omt.walkAddresses(Addr(1) << 40, walk);
+    EXPECT_LT(walk.size(), Omt::kWalkLevels);
+}
+
+TEST_F(OmtTest, NearbyOpnsShareUpperLevels)
+{
+    omt.findOrCreate(0x1000);
+    omt.findOrCreate(0x1001);
+    std::vector<Addr> walk_a, walk_b;
+    omt.walkAddresses(0x1000, walk_a);
+    omt.walkAddresses(0x1001, walk_b);
+    ASSERT_EQ(walk_a.size(), Omt::kWalkLevels);
+    ASSERT_EQ(walk_b.size(), Omt::kWalkLevels);
+    // Adjacent OPNs share the root and differ (at most) in the leaf.
+    EXPECT_EQ(walk_a[0], walk_b[0]);
+    EXPECT_EQ(walk_a[1], walk_b[1]);
+    EXPECT_EQ(walk_a[2], walk_b[2]);
+}
+
+TEST_F(OmtTest, DistantOpnsDivergeEarly)
+{
+    omt.findOrCreate(0x0);
+    omt.findOrCreate(Addr(1) << 35);
+    std::vector<Addr> walk_a, walk_b;
+    omt.walkAddresses(0x0, walk_a);
+    omt.walkAddresses(Addr(1) << 35, walk_b);
+    ASSERT_EQ(walk_a.size(), Omt::kWalkLevels);
+    ASSERT_EQ(walk_b.size(), Omt::kWalkLevels);
+    EXPECT_NE(walk_a[3], walk_b[3]);
+}
+
+TEST_F(OmtTest, NodeBytesGrowWithFootprint)
+{
+    omt.findOrCreate(0);
+    std::uint64_t first = omt.nodeBytes();
+    EXPECT_GT(first, 0u);
+    omt.findOrCreate(Addr(1) << 40);
+    EXPECT_GT(omt.nodeBytes(), first);
+}
+
+TEST(OmtCache, HitAfterMiss)
+{
+    OmtCache cache("omtc", OmtCacheParams{});
+    EXPECT_FALSE(cache.lookupAllocate(7).hit);
+    EXPECT_TRUE(cache.lookupAllocate(7).hit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(OmtCache, Is64EntriesAnd4KBofSram)
+{
+    // §4.5: 64 entries x 512 bits = 4 KB.
+    OmtCache cache("omtc", OmtCacheParams{});
+    EXPECT_EQ(cache.params().entries, 64u);
+    EXPECT_EQ(cache.storageBits(), 64u * 512u);
+    EXPECT_EQ(cache.storageBits() / 8, 4096u);
+}
+
+TEST(OmtCache, EvictionWritesBackModifiedEntries)
+{
+    OmtCacheParams params;
+    params.entries = 4;
+    params.associativity = 2; // 2 sets
+    OmtCache cache("omtc", params);
+
+    // Fill set 0 (even OPNs) and modify one entry.
+    cache.lookupAllocate(0);
+    cache.lookupAllocate(2);
+    cache.markModified(0);
+    // Next even OPN evicts the LRU (0), which is modified.
+    auto res = cache.lookupAllocate(4);
+    EXPECT_FALSE(res.hit);
+    EXPECT_TRUE(res.needsWriteback);
+    EXPECT_EQ(res.writebackOpn, 0u);
+}
+
+TEST(OmtCache, CleanEvictionNeedsNoWriteback)
+{
+    OmtCacheParams params;
+    params.entries = 4;
+    params.associativity = 2;
+    OmtCache cache("omtc", params);
+    cache.lookupAllocate(0);
+    cache.lookupAllocate(2);
+    auto res = cache.lookupAllocate(4);
+    EXPECT_FALSE(res.needsWriteback);
+}
+
+TEST(OmtCache, InvalidateReportsModified)
+{
+    OmtCache cache("omtc", OmtCacheParams{});
+    cache.lookupAllocate(9);
+    cache.markModified(9);
+    EXPECT_TRUE(cache.isPresent(9));
+    EXPECT_TRUE(cache.invalidate(9));
+    EXPECT_FALSE(cache.isPresent(9));
+    EXPECT_FALSE(cache.invalidate(9)); // already gone
+}
+
+TEST(OmtCache, LruWithinSet)
+{
+    OmtCacheParams params;
+    params.entries = 4;
+    params.associativity = 2;
+    OmtCache cache("omtc", params);
+    cache.lookupAllocate(0);
+    cache.lookupAllocate(2);
+    cache.lookupAllocate(0); // refresh 0
+    cache.lookupAllocate(4); // evicts 2
+    EXPECT_TRUE(cache.isPresent(0));
+    EXPECT_FALSE(cache.isPresent(2));
+    EXPECT_TRUE(cache.isPresent(4));
+}
+
+} // namespace
+} // namespace ovl

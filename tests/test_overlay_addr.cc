@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the direct virtual-to-overlay mapping (§4.1, Figure 5):
+ * {1, PID, vaddr} concatenation, round-tripping, and the no-synonym
+ * property (distinct (PID, page) pairs get distinct overlay pages).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+#include "overlay/overlay_addr.hh"
+
+namespace ovl
+{
+namespace
+{
+
+namespace oa = overlay_addr;
+
+TEST(OverlayAddr, MsbMarksOverlaySpace)
+{
+    Addr addr = oa::fromVirtual(3, 0x12345678);
+    EXPECT_TRUE(oa::isOverlay(addr));
+    EXPECT_FALSE(oa::isOverlay(0x12345678));
+}
+
+TEST(OverlayAddr, RoundTripsAsidAndVaddr)
+{
+    Asid asid = 12345;
+    Addr vaddr = 0x7FFF'ABCD'E000;
+    Addr addr = oa::fromVirtual(asid, vaddr);
+    EXPECT_EQ(oa::asidOf(addr), asid);
+    EXPECT_EQ(oa::vaddrOf(addr), vaddr);
+}
+
+TEST(OverlayAddr, SupportsThirtyTwoThousandProcesses)
+{
+    // §4.1: 64-bit PA, 48-bit VA -> 2^15 processes.
+    EXPECT_EQ(oa::kMaxProcesses, 1u << 15);
+    Addr addr = oa::fromVirtual(oa::kMaxProcesses - 1, 0);
+    EXPECT_EQ(oa::asidOf(addr), oa::kMaxProcesses - 1);
+}
+
+TEST(OverlayAddr, PageFromVirtualMatchesFullAddress)
+{
+    Asid asid = 42;
+    Addr vaddr = 0x1234'5678;
+    EXPECT_EQ(oa::pageFromVirtual(asid, pageNumber(vaddr)),
+              oa::fromVirtual(asid, vaddr) >> kPageShift);
+}
+
+TEST(OverlayAddr, NoSynonyms)
+{
+    // Property: the mapping is injective over (asid, vpn) — the paper's
+    // constraint that no two virtual pages share an overlay (§4.1).
+    Rng rng(7);
+    std::set<Opn> seen;
+    std::set<std::pair<Asid, Addr>> keys;
+    for (int i = 0; i < 5000; ++i) {
+        Asid asid = Asid(rng.below(oa::kMaxProcesses));
+        Addr vpn = rng.below(Addr(1) << (oa::kVaddrBits - kPageShift));
+        if (!keys.insert({asid, vpn}).second)
+            continue;
+        EXPECT_TRUE(seen.insert(oa::pageFromVirtual(asid, vpn)).second)
+            << "synonym for asid=" << asid << " vpn=" << vpn;
+    }
+}
+
+TEST(OverlayAddr, LineOffsetsPreserved)
+{
+    // The overlay page is full-sized: in-page offsets carry over, which
+    // is what keeps virtually-indexed caches working (§3.2).
+    Asid asid = 9;
+    Addr vaddr = 0xABC'DEF0;
+    Addr addr = oa::fromVirtual(asid, vaddr);
+    EXPECT_EQ(pageOffset(addr), pageOffset(vaddr));
+    EXPECT_EQ(lineInPage(addr), lineInPage(vaddr));
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Randomized invariants of the overlay engine: under arbitrary
+ * interleavings of line writes, writebacks, clears, reads and discards,
+ * the functional contents always match a host-side model, the OMS
+ * accounting is exact, and segment slot state stays self-consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.hh"
+#include "dram/dram.hh"
+#include "overlay/overlay_manager.hh"
+
+namespace ovl
+{
+namespace
+{
+
+class OverlayFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    OverlayFuzz()
+        : dram("dram", DramTimingParams{}),
+          ovm("ovm", OverlayManagerParams{}, dram,
+              [this] { return nextPage_ += kPageSize; })
+    {
+    }
+
+    static Addr
+    lineAddr(Opn opn, unsigned line)
+    {
+        return (opn << kPageShift) | (Addr(line) << kLineShift);
+    }
+
+    Addr nextPage_ = 0x100'0000;
+    DramController dram;
+    OverlayManager ovm;
+};
+
+TEST_P(OverlayFuzz, MatchesHostModelUnderRandomOps)
+{
+    Rng rng(GetParam());
+    constexpr Opn kBaseOpn = (Addr(1) << 51) | 0x9000;
+    constexpr unsigned kNumPages = 6;
+
+    // Host model: page -> line -> expected first byte.
+    std::map<Opn, std::map<unsigned, std::uint8_t>> model;
+    Tick t = 0;
+
+    for (unsigned step = 0; step < 6000; ++step) {
+        Opn opn = kBaseOpn + rng.below(kNumPages);
+        unsigned line = unsigned(rng.below(kLinesPerPage));
+        switch (rng.below(5)) {
+          case 0: { // write line data
+            std::uint8_t tag = std::uint8_t(rng.next());
+            LineData data;
+            data.fill(tag);
+            ovm.writeLineData(opn, line, data);
+            model[opn][line] = tag;
+            break;
+          }
+          case 1: { // writeback (lazy OMS allocation)
+            if (model.count(opn) && model[opn].count(line))
+                t = ovm.writebackLine(lineAddr(opn, line), t);
+            break;
+          }
+          case 2: { // controller read
+            if (model.count(opn) && model[opn].count(line))
+                t = ovm.readLine(lineAddr(opn, line), t);
+            break;
+          }
+          case 3: { // clear one line
+            if (rng.chance(0.3)) {
+                ovm.clearLine(opn, line);
+                if (model.count(opn))
+                    model[opn].erase(line);
+            }
+            break;
+          }
+          case 4: { // discard a whole overlay
+            if (rng.chance(0.05)) {
+                ovm.discardOverlay(opn);
+                model.erase(opn);
+            }
+            break;
+          }
+        }
+
+        if (step % 500 != 0)
+            continue;
+        // ---- invariant sweep ----
+        for (unsigned p = 0; p < kNumPages; ++p) {
+            Opn check = kBaseOpn + p;
+            BitVector64 obv = ovm.obitvector(check);
+            const auto it = model.find(check);
+            for (unsigned l = 0; l < kLinesPerPage; ++l) {
+                bool expected =
+                    it != model.end() && it->second.count(l) > 0;
+                ASSERT_EQ(obv.test(l), expected)
+                    << "page " << p << " line " << l << " step " << step;
+                if (expected) {
+                    LineData data;
+                    ovm.readLineData(check, l, data);
+                    ASSERT_EQ(data[0], it->second.at(l));
+                    ASSERT_EQ(data[kLineSize - 1], it->second.at(l));
+                }
+            }
+        }
+        // OMS accounting is exact: bytes-in-use equals the sum of the
+        // live segments' class sizes.
+        std::uint64_t live_seg_bytes = 0;
+        for (unsigned c = 0; c < kNumSegClasses; ++c) {
+            live_seg_bytes += ovm.segmentCount(SegClass(c)) *
+                              segClassBytes(SegClass(c));
+        }
+        ASSERT_EQ(ovm.omsBytesInUse(), live_seg_bytes);
+    }
+}
+
+TEST_P(OverlayFuzz, SlotAssignmentsNeverCollide)
+{
+    Rng rng(GetParam() + 7);
+    constexpr Opn opn = (Addr(1) << 51) | 0xABC;
+    std::set<unsigned> mapped;
+    Tick t = 0;
+    for (unsigned step = 0; step < 300; ++step) {
+        unsigned line = unsigned(rng.below(kLinesPerPage));
+        if (rng.chance(0.75)) {
+            LineData d{};
+            ovm.writeLineData(opn, line, d);
+            t = ovm.writebackLine(lineAddr(opn, line), t);
+            mapped.insert(line);
+        } else if (!mapped.empty()) {
+            ovm.clearLine(opn, line);
+            mapped.erase(line);
+        }
+        // Distinct mapped lines must resolve to distinct OMS addresses.
+        const OmtEntry *entry = ovm.omt().find(opn);
+        if (entry == nullptr || !entry->hasSegment)
+            continue;
+        std::set<Addr> addrs;
+        for (unsigned l : mapped) {
+            if (!entry->seg.hasSlot(l))
+                continue; // written but not yet written back
+            Addr a = entry->seg.lineAddr(l);
+            ASSERT_TRUE(addrs.insert(a).second)
+                << "slot collision at line " << l;
+            ASSERT_GE(a, entry->seg.baseAddr);
+            ASSERT_LT(a, entry->seg.baseAddr + entry->seg.bytes());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlayFuzz,
+                         ::testing::Values(101, 202, 303, 404));
+
+} // namespace
+} // namespace ovl

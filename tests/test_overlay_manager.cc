@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the overlay engine: functional overlay contents, lazy OMS
+ * slot allocation on writeback (§4.3.3), segment growth/migration
+ * (§4.4.2), discard, and the OMT side of the overlaying-read-exclusive
+ * message.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram.hh"
+#include "overlay/overlay_manager.hh"
+
+namespace ovl
+{
+namespace
+{
+
+class OverlayManagerTest : public ::testing::Test
+{
+  protected:
+    OverlayManagerTest()
+        : dram("dram", DramTimingParams{}),
+          ovm("ovm", OverlayManagerParams{}, dram,
+              [this] { return nextPage_ += kPageSize; })
+    {
+    }
+
+    static LineData
+    pattern(std::uint8_t seed)
+    {
+        LineData d;
+        for (std::size_t i = 0; i < d.size(); ++i)
+            d[i] = std::uint8_t(seed + i);
+        return d;
+    }
+
+    /** Overlay line address for (opn, line). */
+    static Addr
+    lineAddr(Opn opn, unsigned line)
+    {
+        return (opn << kPageShift) | (Addr(line) << kLineShift);
+    }
+
+    Addr nextPage_ = 0x100'0000;
+    DramController dram;
+    OverlayManager ovm;
+};
+
+constexpr Opn kOpn = (Addr(1) << 51) | 0x1234; // an overlay-space page
+
+TEST_F(OverlayManagerTest, EmptyOverlayReportsNothing)
+{
+    EXPECT_FALSE(ovm.hasOverlay(kOpn));
+    EXPECT_TRUE(ovm.obitvector(kOpn).none());
+}
+
+TEST_F(OverlayManagerTest, WriteThenReadLineData)
+{
+    LineData in = pattern(7);
+    ovm.writeLineData(kOpn, 13, in);
+    EXPECT_TRUE(ovm.hasOverlay(kOpn));
+    EXPECT_TRUE(ovm.obitvector(kOpn).test(13));
+    LineData out{};
+    ovm.readLineData(kOpn, 13, out);
+    EXPECT_EQ(out, in);
+}
+
+TEST_F(OverlayManagerTest, NoOmsSpaceUntilWriteback)
+{
+    // §4.3.3: memory is allocated lazily on dirty-line eviction.
+    ovm.writeLineData(kOpn, 0, pattern(1));
+    EXPECT_EQ(ovm.omsBytesInUse(), 0u);
+    ovm.writebackLine(lineAddr(kOpn, 0), 0);
+    EXPECT_EQ(ovm.omsBytesInUse(), segClassBytes(SegClass::Seg256B));
+}
+
+TEST_F(OverlayManagerTest, SegmentGrowsThroughAllClasses)
+{
+    // Writing back more and more lines migrates the overlay up the
+    // segment classes: 256 B (3 lines) -> 512 B (7) -> 1 KB (15) ->
+    // 2 KB (31) -> 4 KB (64).
+    Tick t = 0;
+    for (unsigned l = 0; l < kLinesPerPage; ++l) {
+        ovm.writeLineData(kOpn, l, pattern(std::uint8_t(l)));
+        t = ovm.writebackLine(lineAddr(kOpn, l), t);
+        std::uint64_t expected =
+            segClassBytes(segClassFor(l + 1));
+        EXPECT_EQ(ovm.omsBytesInUse(), expected)
+            << "after " << (l + 1) << " lines";
+    }
+    EXPECT_EQ(ovm.migrations(), 4u);
+    // Contents survived every migration.
+    for (unsigned l = 0; l < kLinesPerPage; ++l) {
+        LineData out{};
+        ovm.readLineData(kOpn, l, out);
+        EXPECT_EQ(out, pattern(std::uint8_t(l)));
+    }
+}
+
+TEST_F(OverlayManagerTest, RepeatedWritebackReusesSlot)
+{
+    ovm.writeLineData(kOpn, 5, pattern(1));
+    ovm.writebackLine(lineAddr(kOpn, 5), 0);
+    std::uint64_t bytes = ovm.omsBytesInUse();
+    ovm.writebackLine(lineAddr(kOpn, 5), 1000);
+    EXPECT_EQ(ovm.omsBytesInUse(), bytes); // no second slot
+}
+
+TEST_F(OverlayManagerTest, ReadLineGoesThroughOmtAndDram)
+{
+    ovm.writeLineData(kOpn, 3, pattern(2));
+    ovm.writebackLine(lineAddr(kOpn, 3), 0);
+    Tick done = ovm.readLine(lineAddr(kOpn, 3), 10'000);
+    EXPECT_GT(done, 10'000u);
+}
+
+TEST_F(OverlayManagerTest, OmtCacheHitIsCheaperThanWalk)
+{
+    ovm.writeLineData(kOpn, 3, pattern(2));
+    ovm.writebackLine(lineAddr(kOpn, 3), 0);
+    ovm.omtCache().invalidate(kOpn);
+    Tick cold = ovm.omtAccess(kOpn, 1'000'000) - 1'000'000;
+    Tick warm = ovm.omtAccess(kOpn, 2'000'000) - 2'000'000;
+    EXPECT_GT(cold, warm);
+    EXPECT_EQ(warm, ovm.omtCache().params().hitLatency);
+}
+
+TEST_F(OverlayManagerTest, DiscardFreesEverything)
+{
+    for (unsigned l = 0; l < 10; ++l) {
+        ovm.writeLineData(kOpn, l, pattern(std::uint8_t(l)));
+        ovm.writebackLine(lineAddr(kOpn, l), 0);
+    }
+    EXPECT_GT(ovm.omsBytesInUse(), 0u);
+    ovm.discardOverlay(kOpn);
+    EXPECT_FALSE(ovm.hasOverlay(kOpn));
+    EXPECT_EQ(ovm.omsBytesInUse(), 0u);
+    EXPECT_TRUE(ovm.obitvector(kOpn).none());
+}
+
+TEST_F(OverlayManagerTest, WritebackAfterDiscardIsDropped)
+{
+    ovm.writeLineData(kOpn, 4, pattern(1));
+    ovm.discardOverlay(kOpn);
+    // A stale dirty line arriving from the caches is squashed.
+    Tick t = ovm.writebackLine(lineAddr(kOpn, 4), 100);
+    EXPECT_GE(t, 100u);
+    EXPECT_EQ(ovm.omsBytesInUse(), 0u);
+}
+
+TEST_F(OverlayManagerTest, ClearLineFreesSlotForReuse)
+{
+    for (unsigned l = 0; l < 3; ++l) {
+        ovm.writeLineData(kOpn, l, pattern(std::uint8_t(l)));
+        ovm.writebackLine(lineAddr(kOpn, l), 0);
+    }
+    std::uint64_t bytes = ovm.omsBytesInUse();
+    ovm.clearLine(kOpn, 1);
+    EXPECT_FALSE(ovm.obitvector(kOpn).test(1));
+    // A new line reuses the freed slot: no growth.
+    ovm.writeLineData(kOpn, 9, pattern(9));
+    ovm.writebackLine(lineAddr(kOpn, 9), 0);
+    EXPECT_EQ(ovm.omsBytesInUse(), bytes);
+}
+
+TEST_F(OverlayManagerTest, OverlayingReadExclusiveSetsOmtBit)
+{
+    Tick done = ovm.overlayingReadExclusive(kOpn, 22, 50);
+    EXPECT_GE(done, 50u);
+    EXPECT_TRUE(ovm.obitvector(kOpn).test(22));
+}
+
+TEST_F(OverlayManagerTest, DistinctOverlaysAreIndependent)
+{
+    Opn other = kOpn + 1;
+    ovm.writeLineData(kOpn, 0, pattern(1));
+    ovm.writeLineData(other, 0, pattern(2));
+    LineData a{}, b{};
+    ovm.readLineData(kOpn, 0, a);
+    ovm.readLineData(other, 0, b);
+    EXPECT_EQ(a, pattern(1));
+    EXPECT_EQ(b, pattern(2));
+    ovm.discardOverlay(kOpn);
+    EXPECT_TRUE(ovm.hasOverlay(other));
+}
+
+TEST_F(OverlayManagerTest, SegmentCountsByClass)
+{
+    ovm.writeLineData(kOpn, 0, pattern(1));
+    ovm.writebackLine(lineAddr(kOpn, 0), 0);
+    EXPECT_EQ(ovm.segmentCount(SegClass::Seg256B), 1u);
+    EXPECT_EQ(ovm.segmentCount(SegClass::Seg4KB), 0u);
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the replacement policies: LRU, Random, SRRIP, BRRIP and
+ * set-dueling DRRIP [27].
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+
+namespace ovl
+{
+namespace
+{
+
+TEST(Replacement, PolicyNames)
+{
+    EXPECT_STREQ(replPolicyName(ReplPolicy::LRU), "LRU");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::DRRIP), "DRRIP");
+}
+
+TEST(Replacement, LruEvictsLeastRecentlyUsed)
+{
+    ReplacementEngine engine(ReplPolicy::LRU, 64);
+    ReplState lines[4];
+    for (auto &line : lines)
+        engine.onInsert(line, 0, false);
+    // Touch everything except way 2.
+    engine.onHit(lines[0]);
+    engine.onHit(lines[1]);
+    engine.onHit(lines[3]);
+    EXPECT_EQ(engine.selectVictim(lines, 4), 2u);
+}
+
+TEST(Replacement, LruHitRefreshesRecency)
+{
+    ReplacementEngine engine(ReplPolicy::LRU, 64);
+    ReplState lines[2];
+    engine.onInsert(lines[0], 0, false);
+    engine.onInsert(lines[1], 0, false);
+    engine.onHit(lines[0]); // 0 is now more recent than 1
+    EXPECT_EQ(engine.selectVictim(lines, 2), 1u);
+}
+
+TEST(Replacement, RandomStaysInRange)
+{
+    ReplacementEngine engine(ReplPolicy::Random, 64);
+    ReplState lines[8];
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(engine.selectVictim(lines, 8), 8u);
+}
+
+TEST(Replacement, SrripHitPromotesToNearImmediate)
+{
+    ReplacementEngine engine(ReplPolicy::SRRIP, 64);
+    ReplState line;
+    engine.onInsert(line, 0, false);
+    EXPECT_EQ(line.rrpv, 2); // long re-reference on insert
+    engine.onHit(line);
+    EXPECT_EQ(line.rrpv, 0);
+}
+
+TEST(Replacement, SrripVictimIsDistantLine)
+{
+    ReplacementEngine engine(ReplPolicy::SRRIP, 64);
+    ReplState lines[4];
+    for (auto &line : lines)
+        engine.onInsert(line, 0, false);
+    engine.onHit(lines[0]);
+    engine.onHit(lines[1]);
+    engine.onHit(lines[2]);
+    // Lines 0-2 have RRPV 0; line 3 has RRPV 2 and ages to 3 first.
+    EXPECT_EQ(engine.selectVictim(lines, 4), 3u);
+}
+
+TEST(Replacement, SrripAgingTerminates)
+{
+    ReplacementEngine engine(ReplPolicy::SRRIP, 64);
+    ReplState lines[16];
+    for (auto &line : lines) {
+        engine.onInsert(line, 0, false);
+        engine.onHit(line); // everything at RRPV 0
+    }
+    unsigned victim = engine.selectVictim(lines, 16);
+    EXPECT_LT(victim, 16u);
+    // Aging must have raised the victim to the distant value.
+    EXPECT_GE(lines[victim].rrpv, 3);
+}
+
+TEST(Replacement, BrripMostlyInsertsDistant)
+{
+    ReplacementEngine engine(ReplPolicy::BRRIP, 64);
+    unsigned distant = 0;
+    for (int i = 0; i < 320; ++i) {
+        ReplState line;
+        engine.onInsert(line, 0, false);
+        distant += (line.rrpv == 3);
+    }
+    // 31 of every 32 inserts are distant.
+    EXPECT_GT(distant, 280u);
+    EXPECT_LT(distant, 320u);
+}
+
+TEST(Replacement, DrripLeaderSetsAreDisjoint)
+{
+    ReplacementEngine engine(ReplPolicy::DRRIP, 2048);
+    unsigned srrip = 0, brrip = 0;
+    for (unsigned set = 0; set < 2048; ++set) {
+        EXPECT_FALSE(engine.isSrripLeader(set) && engine.isBrripLeader(set));
+        srrip += engine.isSrripLeader(set);
+        brrip += engine.isBrripLeader(set);
+    }
+    EXPECT_EQ(srrip, 2048u / 32);
+    EXPECT_EQ(brrip, 2048u / 32);
+}
+
+TEST(Replacement, DrripDuelingMovesPsel)
+{
+    ReplacementEngine engine(ReplPolicy::DRRIP, 2048);
+    bool initial = engine.brripWinning();
+    // Misses in SRRIP leader sets vote for BRRIP.
+    for (int i = 0; i < 600; ++i)
+        engine.onMiss(0); // set 0 is an SRRIP leader
+    EXPECT_TRUE(engine.brripWinning());
+    // Misses in BRRIP leader sets vote for SRRIP.
+    for (int i = 0; i < 1200; ++i)
+        engine.onMiss(16); // set 16 is a BRRIP leader
+    EXPECT_FALSE(engine.brripWinning());
+    (void)initial;
+}
+
+TEST(Replacement, DrripFollowerInsertsTrackWinner)
+{
+    ReplacementEngine engine(ReplPolicy::DRRIP, 2048);
+    for (int i = 0; i < 1200; ++i)
+        engine.onMiss(16); // push toward SRRIP
+    ReplState line;
+    engine.onInsert(line, 1, false); // set 1 is a follower
+    EXPECT_EQ(line.rrpv, 2);         // SRRIP-style insert
+}
+
+TEST(Replacement, DrripPrefetchesInsertDistant)
+{
+    ReplacementEngine engine(ReplPolicy::DRRIP, 2048);
+    ReplState line;
+    engine.onInsert(line, 1, true);
+    EXPECT_EQ(line.rrpv, 3);
+}
+
+} // namespace
+} // namespace ovl

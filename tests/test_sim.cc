@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the simulation kernel: statistics and the event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace ovl
+{
+namespace
+{
+
+TEST(Stats, CounterAccumulates)
+{
+    stats::Group group("g");
+    stats::Counter c(&group, "c", "a counter");
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GaugeMovesBothWays)
+{
+    stats::Group group("g");
+    stats::Gauge g(&group, "g", "a gauge");
+    g += 5;
+    g -= 2;
+    EXPECT_EQ(g.value(), 3);
+    g.set(-7);
+    EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Stats, HistogramMoments)
+{
+    stats::Group group("g");
+    stats::Histogram h(&group, "h", "hist", 10, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(1000); // overflow bucket
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.minValue(), 5u);
+    EXPECT_EQ(h.maxValue(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), (5.0 + 15.0 + 1000.0) / 3.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    stats::Group group("g");
+    stats::Counter num(&group, "num", "numerator");
+    stats::Counter den(&group, "den", "denominator");
+    stats::Formula ratio(&group, "ratio", "num/den", [&] {
+        return den.value() ? double(num.value()) / double(den.value()) : 0.0;
+    });
+    num += 6;
+    den += 3;
+    EXPECT_DOUBLE_EQ(ratio.value(), 2.0);
+}
+
+TEST(Stats, GroupDumpContainsNamesAndValues)
+{
+    stats::Group group("sys.cache");
+    stats::Counter c(&group, "hits", "cache hits");
+    c += 42;
+    std::ostringstream os;
+    group.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("sys.cache.hits"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("cache hits"), std::string::npos);
+}
+
+TEST(Stats, GroupResetClearsEverything)
+{
+    stats::Group group("g");
+    stats::Counter c(&group, "c", "");
+    stats::Histogram h(&group, "h", "", 1, 4);
+    c += 3;
+    h.sample(2);
+    group.resetStats();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(SimObject, NamePropagatesToStats)
+{
+    struct Obj : SimObject
+    {
+        explicit Obj(std::string n) : SimObject(std::move(n)) {}
+    };
+    Obj obj("system.widget");
+    EXPECT_EQ(obj.name(), "system.widget");
+    EXPECT_EQ(obj.statGroup().name(), "system.widget");
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&](Tick) { order.push_back(3); });
+    eq.schedule(10, [&](Tick) { order.push_back(1); });
+    eq.schedule(20, [&](Tick) { order.push_back(2); });
+    eq.drain();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&order, i](Tick) { order.push_back(i); });
+    eq.drain();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&](Tick) { ++fired; });
+    eq.schedule(20, [&](Tick) { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil(25);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void(Tick)> chain = [&](Tick now) {
+        if (++depth < 5)
+            eq.schedule(now + 1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.drain();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 4u);
+}
+
+TEST(EventQueue, NextEventTick)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventTick(), kMaxTick);
+    eq.schedule(42, [](Tick) {});
+    EXPECT_EQ(eq.nextEventTick(), 42u);
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Randomized agreement batteries for the sparse stack: all SpMV engines
+ * against the COO reference over random specs/families; CSR dynamic
+ * inserts against rebuilt-from-scratch matrices; and overlay-matrix
+ * insert/remove interleavings against a host-side map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "sparse/csr.hh"
+#include "sparse/overlay_matrix.hh"
+#include "sparse/spmv.hh"
+#include "workload/matrixgen.hh"
+
+namespace ovl
+{
+namespace
+{
+
+class SparseFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SparseFuzz, EnginesAgreeOnRandomMatrices)
+{
+    Rng rng(GetParam());
+    MatrixSpec spec;
+    spec.family = MatrixFamily(rng.below(4));
+    spec.rows = 64 + std::uint32_t(rng.below(4)) * 64;
+    spec.cols = spec.rows;
+    spec.nnz = 300 + rng.below(2000);
+    spec.targetL = 1.0 + rng.uniform() * 7.0;
+    spec.blockRunLines = 8 + unsigned(rng.below(120));
+    spec.seed = rng.next();
+    CooMatrix coo = generateMatrix(spec);
+
+    std::vector<double> x(coo.cols);
+    for (double &v : x)
+        v = rng.uniform() * 2.0 - 1.0;
+    std::vector<double> ref = spmvReference(coo, x);
+    SpmvAddrs addrs;
+
+    {
+        System sys((SystemConfig()));
+        OooCore core("core", sys);
+        Asid asid = sys.createProcess();
+        installVectors(sys, asid, addrs, x, coo.rows);
+        OverlayMatrix m(sys, asid, addrs.aBase);
+        m.build(coo);
+        SpmvResult res = spmvOverlay(sys, core, m, addrs, x, 0);
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_NEAR(res.y[i], ref[i], 1e-9) << "overlay row " << i;
+    }
+    {
+        System sys((SystemConfig()));
+        OooCore core("core", sys);
+        Asid asid = sys.createProcess();
+        installVectors(sys, asid, addrs, x, coo.rows);
+        CsrMatrix csr = CsrMatrix::fromCoo(coo);
+        installCsr(sys, asid, addrs, csr);
+        sys.quiesce();
+        SpmvResult res = spmvCsr(sys, core, asid, addrs, csr, x, 0);
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_NEAR(res.y[i], ref[i], 1e-9) << "csr row " << i;
+    }
+}
+
+TEST_P(SparseFuzz, CsrInsertMatchesRebuild)
+{
+    Rng rng(GetParam() + 40);
+    MatrixSpec spec;
+    spec.rows = 128;
+    spec.cols = 128;
+    spec.nnz = 500;
+    spec.targetL = 3.0;
+    spec.seed = rng.next();
+    CooMatrix coo = generateMatrix(spec);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+
+    // Apply 60 random inserts/updates both ways.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> extra;
+    for (int i = 0; i < 60; ++i) {
+        std::uint32_t r = std::uint32_t(rng.below(coo.rows));
+        std::uint32_t c = std::uint32_t(rng.below(coo.cols));
+        double v = rng.uniform() + 0.5;
+        csr.insert(r, c, v);
+        extra[{r, c}] = v;
+    }
+    CooMatrix updated = coo;
+    for (const auto &[rc, v] : extra)
+        updated.entries.push_back({rc.first, rc.second, v});
+    updated.canonicalize();
+    CsrMatrix rebuilt = CsrMatrix::fromCoo(updated);
+
+    ASSERT_EQ(csr.nnz(), rebuilt.nnz());
+    std::vector<double> x(coo.cols);
+    for (double &v : x)
+        v = rng.uniform();
+    std::vector<double> a = csr.spmv(x);
+    std::vector<double> b = rebuilt.spmv(x);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(a[i], b[i], 1e-9) << "row " << i;
+}
+
+TEST_P(SparseFuzz, OverlayInsertRemoveMatchesHostMap)
+{
+    Rng rng(GetParam() + 80);
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    OverlayMatrix m(sys, asid, 0x1000'0000);
+    CooMatrix coo;
+    coo.rows = 32;
+    coo.cols = 64;
+    coo.entries = {{0, 0, 1.0}};
+    m.build(coo);
+
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> host;
+    host[{0, 0}] = 1.0;
+    Tick t = 0;
+    for (int step = 0; step < 400; ++step) {
+        std::uint32_t r = std::uint32_t(rng.below(coo.rows));
+        std::uint32_t c = std::uint32_t(rng.below(coo.cols));
+        if (rng.chance(0.6)) {
+            double v = rng.uniform() + 0.5;
+            t = m.insert(r, c, v, t);
+            host[{r, c}] = v;
+        } else {
+            t = m.remove(r, c, t);
+            host.erase({r, c});
+        }
+        if (step % 50 != 0)
+            continue;
+        for (std::uint32_t rr = 0; rr < coo.rows; ++rr) {
+            for (std::uint32_t cc = 0; cc < coo.cols; ++cc) {
+                auto it = host.find({rr, cc});
+                double expect = it == host.end() ? 0.0 : it->second;
+                ASSERT_DOUBLE_EQ(m.at(rr, cc), expect)
+                    << "(" << rr << "," << cc << ") step " << step;
+            }
+        }
+    }
+    // Lines whose elements were all removed must have been reclaimed.
+    std::uint64_t mapped_lines = 0;
+    for (std::uint32_t rr = 0; rr < coo.rows; ++rr) {
+        for (std::uint32_t cc = 0; cc < coo.cols; cc += 8)
+            mapped_lines += sys.lineInOverlay(asid, m.addrOf(rr, cc));
+    }
+    std::set<std::uint64_t> host_lines;
+    for (const auto &[rc, v] : host) {
+        host_lines.insert(
+            (m.addrOf(rc.first, rc.second) & ~kLineMask));
+    }
+    EXPECT_EQ(mapped_lines, host_lines.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseFuzz,
+                         ::testing::Values(7, 77, 777, 7777));
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Second-wave System tests: phase quiescing, overlay-aware prefetch,
+ * zero-line reclamation, the full-page-segment variant, ORE
+ * serialization, multi-process isolation, fork chains, and a randomized
+ * consistency fuzz of the access semantics against a host-side shadow
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/random.hh"
+#include "system/system.hh"
+
+namespace ovl
+{
+namespace
+{
+
+constexpr Addr kBase = 0x100000;
+
+TEST(SystemQuiesce, TimingRestartsCleanAfterSetupTraffic)
+{
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapAnon(asid, kBase, 64 * kPageSize);
+
+    // Setup traffic far into the future.
+    Tick t = 0;
+    for (unsigned i = 0; i < 2000; ++i)
+        t = sys.access(asid, kBase + (i % 4096) * kLineSize, true, t);
+    ASSERT_GT(t, 100'000u);
+
+    sys.quiesce();
+    // A fresh access at tick 0 must not inherit the setup backlog: it is
+    // at worst one cold DRAM access.
+    sys.caches().flushAll(0);
+    sys.quiesce();
+    Tick lat = sys.access(asid, kBase, false, 0) - 0;
+    EXPECT_LT(lat, 2000u);
+}
+
+TEST(SystemQuiesce, FunctionalStateSurvives)
+{
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapZeroOverlay(asid, kBase, kPageSize);
+    double v = 8.5;
+    sys.poke(asid, kBase, &v, 8);
+    sys.quiesce();
+    double got = 0;
+    sys.peek(asid, kBase, &got, 8);
+    EXPECT_EQ(got, 8.5);
+    EXPECT_TRUE(sys.lineInOverlay(asid, kBase));
+}
+
+TEST(SystemPrefetch, OverlayPagePrefetchFillsL3)
+{
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapZeroOverlay(asid, kBase, kPageSize);
+    Tick t = 0;
+    for (unsigned l = 0; l < 8; ++l)
+        t = sys.access(asid, kBase + l * kLineSize, true, t);
+    sys.caches().flushAll(t);
+    sys.quiesce();
+
+    sys.prefetchOverlayPage(asid, kBase, 0);
+    // A demand read now hits L3 instead of going to the OMS.
+    AccessOutcome out;
+    sys.access(asid, kBase, false, 1000, &out);
+    EXPECT_EQ(out.level, HitLevel::L3);
+}
+
+TEST(SystemReclaim, ZeroLineIsReclaimed)
+{
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapZeroOverlay(asid, kBase, kPageSize);
+    double v = 4.0;
+    sys.poke(asid, kBase + 8, &v, 8);
+    ASSERT_TRUE(sys.lineInOverlay(asid, kBase));
+
+    // Not all-zero yet: reclamation refuses.
+    EXPECT_FALSE(sys.reclaimZeroLine(asid, kBase, 0));
+
+    double zero = 0.0;
+    sys.poke(asid, kBase + 8, &zero, 8);
+    EXPECT_TRUE(sys.reclaimZeroLine(asid, kBase, 0));
+    EXPECT_FALSE(sys.lineInOverlay(asid, kBase));
+    // Reads still see zero (now from the zero page).
+    double got = 1.0;
+    sys.peek(asid, kBase + 8, &got, 8);
+    EXPECT_EQ(got, 0.0);
+    // The whole overlay died with its last line: OMT entry gone.
+    EXPECT_FALSE(sys.overlayManager().hasOverlay(
+        overlay_addr::pageFromVirtual(asid, pageNumber(kBase))));
+}
+
+TEST(SystemReclaim, RefusesOnPrivatePages)
+{
+    // Reclamation only applies to zero-backed pages: for a private page
+    // the physical line may be non-zero underneath.
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapAnon(asid, kBase, kPageSize);
+    std::uint64_t orig = 77;
+    sys.poke(asid, kBase, &orig, 8);
+    Pte *pte = sys.vmm().resolve(asid, pageNumber(kBase));
+    pte->cow = true;
+    pte->overlayEnabled = true;
+    std::uint64_t zero = 0;
+    sys.poke(asid, kBase, &zero, 8); // overlaying write of zeroes
+    ASSERT_TRUE(sys.lineInOverlay(asid, kBase));
+    EXPECT_FALSE(sys.reclaimZeroLine(asid, kBase, 0));
+    std::uint64_t got = 1;
+    sys.peek(asid, kBase, &got, 8);
+    EXPECT_EQ(got, 0u); // overlay still masks the stale 77
+}
+
+TEST(SystemFullPageSegments, TradeCapacityForSimplicity)
+{
+    SystemConfig cfg;
+    cfg.overlay.fullPageSegments = true;
+    System sys(cfg);
+    Asid asid = sys.createProcess();
+    sys.mapZeroOverlay(asid, kBase, kPageSize);
+    Tick t = sys.access(asid, kBase, true, 0);
+    sys.caches().flushAll(t);
+    // One line, but a whole 4 KB segment (§4.4's simple variant).
+    EXPECT_EQ(sys.overlayManager().omsBytesInUse(), kPageSize);
+    EXPECT_EQ(sys.overlayManager().migrations(), 0u);
+}
+
+TEST(SystemOre, DenseBurstsSerializeAtTheOrderingPoint)
+{
+    // 16 back-to-back overlaying writes to one page: each waits for the
+    // previous ORE, so the total grows ~linearly in the burst length.
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapZeroOverlay(asid, kBase, kPageSize);
+    sys.access(asid, kBase + 63 * kLineSize, false, 0); // warm TLB
+
+    Tick start = 100'000;
+    Tick t = start;
+    for (unsigned l = 0; l < 16; ++l)
+        t = sys.access(asid, kBase + l * kLineSize, true, t);
+    Tick burst = t - start;
+    EXPECT_GE(burst, 16 * sys.config().oreMessageCycles);
+}
+
+TEST(SystemIsolation, ProcessesDoNotAlias)
+{
+    System sys((SystemConfig()));
+    Asid a = sys.createProcess();
+    Asid b = sys.createProcess();
+    sys.mapZeroOverlay(a, kBase, kPageSize);
+    sys.mapZeroOverlay(b, kBase, kPageSize);
+    double va = 1.0, vb = 2.0;
+    sys.poke(a, kBase, &va, 8);
+    sys.poke(b, kBase, &vb, 8);
+    double got = 0;
+    sys.peek(a, kBase, &got, 8);
+    EXPECT_EQ(got, 1.0);
+    sys.peek(b, kBase, &got, 8);
+    EXPECT_EQ(got, 2.0); // no overlay synonym (§4.1 constraint)
+}
+
+TEST(SystemFork, GrandchildrenInheritAndDiverge)
+{
+    System sys((SystemConfig()));
+    Asid gen0 = sys.createProcess();
+    sys.mapAnon(gen0, kBase, kPageSize);
+    std::uint64_t v0 = 10;
+    sys.poke(gen0, kBase, &v0, 8);
+
+    Tick t = 0;
+    Asid gen1 = sys.fork(gen0, ForkMode::OverlayOnWrite, 0, &t);
+    std::uint64_t v1 = 20;
+    sys.write(gen1, kBase, &v1, 8, t);
+
+    Asid gen2 = sys.fork(gen1, ForkMode::OverlayOnWrite, t, &t);
+    std::uint64_t got = 0;
+    sys.peek(gen2, kBase, &got, 8);
+    EXPECT_EQ(got, 20u); // grandchild sees gen1's overlay (copied, §4.1)
+
+    std::uint64_t v2 = 30;
+    sys.write(gen2, kBase, &v2, 8, t);
+    sys.peek(gen0, kBase, &got, 8);
+    EXPECT_EQ(got, 10u);
+    sys.peek(gen1, kBase, &got, 8);
+    EXPECT_EQ(got, 20u);
+    sys.peek(gen2, kBase, &got, 8);
+    EXPECT_EQ(got, 30u);
+}
+
+TEST(SystemEquivalence, OverlaysOffMatchesOverlaysOnFunctionally)
+{
+    // The same deterministic write/read script must produce identical
+    // memory contents with overlays on and off (§3.3: an optional
+    // feature, not a semantic change).
+    auto run = [](bool enabled) {
+        SystemConfig cfg;
+        cfg.overlaysEnabled = enabled;
+        System sys(cfg);
+        Asid parent = sys.createProcess();
+        sys.mapAnon(parent, kBase, 8 * kPageSize);
+        Rng rng(55);
+        Tick t = 0;
+        sys.fork(parent, ForkMode::OverlayOnWrite, 0, &t);
+        std::vector<std::uint8_t> final_state(8 * kPageSize);
+        for (unsigned i = 0; i < 3000; ++i) {
+            Addr addr = kBase + rng.below(8 * kPageSize - 8);
+            std::uint64_t value = rng.next();
+            sys.write(parent, addr, &value, 8, t);
+        }
+        sys.peek(parent, kBase, final_state.data(), kPageSize);
+        for (unsigned p = 0; p < 8; ++p) {
+            sys.peek(parent, kBase + p * kPageSize,
+                     final_state.data() + p * kPageSize, kPageSize);
+        }
+        return final_state;
+    };
+    EXPECT_EQ(run(true), run(false));
+}
+
+// ------------------------- consistency fuzz ----------------------------
+
+/**
+ * Property: the System's functional semantics (poke/peek/write/read,
+ * overlaying writes, CoW, promotion) always match a flat host-side
+ * shadow of the process's address space.
+ */
+class SemanticsFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SemanticsFuzz, MatchesShadowModel)
+{
+    Rng rng(GetParam());
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    constexpr unsigned kPages = 8;
+    // Half the range private, half zero-backed overlay pages.
+    sys.mapAnon(asid, kBase, kPages / 2 * kPageSize);
+    sys.mapZeroOverlay(asid, kBase + kPages / 2 * kPageSize,
+                       kPages / 2 * kPageSize);
+
+    std::vector<std::uint8_t> shadow(kPages * kPageSize, 0);
+    Tick t = 0;
+    for (unsigned step = 0; step < 4000; ++step) {
+        Addr offset = rng.below(kPages * kPageSize - 8);
+        Addr addr = kBase + offset;
+        switch (rng.below(6)) {
+          case 0: { // timed write
+            std::uint64_t value = rng.next();
+            t = sys.write(asid, addr, &value, 8, t);
+            std::memcpy(shadow.data() + offset, &value, 8);
+            break;
+          }
+          case 1: { // functional poke
+            std::uint32_t value = std::uint32_t(rng.next());
+            sys.poke(asid, addr, &value, 4);
+            std::memcpy(shadow.data() + offset, &value, 4);
+            break;
+          }
+          case 2: { // timed read
+            std::uint64_t got = 0, want = 0;
+            t = sys.read(asid, addr, &got, 8, t);
+            std::memcpy(&want, shadow.data() + offset, 8);
+            ASSERT_EQ(got, want) << "step " << step;
+            break;
+          }
+          case 3: { // functional peek
+            std::uint8_t got = 0;
+            sys.peek(asid, addr, &got, 1);
+            ASSERT_EQ(got, shadow[offset]) << "step " << step;
+            break;
+          }
+          case 4: { // occasionally promote an overlay page
+            if (rng.chance(0.05)) {
+                Addr page = kBase + rng.below(kPages) * kPageSize;
+                if (sys.pageObv(asid, page).any()) {
+                    t = sys.promoteOverlay(
+                        asid, page, PromoteAction::CopyAndCommit, t);
+                }
+            }
+            break;
+          }
+          case 5: { // occasionally try zero-line reclamation
+            if (rng.chance(0.1)) {
+                std::uint64_t zero = 0;
+                Addr line_addr = kBase + (offset & ~kLineMask);
+                for (unsigned i = 0; i < kLineSize; i += 8) {
+                    sys.poke(asid, line_addr + i, &zero, 8);
+                    std::memset(shadow.data() +
+                                    (line_addr - kBase) + i,
+                                0, 8);
+                }
+                sys.reclaimZeroLine(asid, line_addr, t);
+            }
+            break;
+          }
+        }
+    }
+    // Final full comparison.
+    std::vector<std::uint8_t> got(kPages * kPageSize);
+    for (unsigned p = 0; p < kPages; ++p) {
+        sys.peek(asid, kBase + p * kPageSize, got.data() + p * kPageSize,
+                 kPageSize);
+    }
+    EXPECT_EQ(got, shadow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests for the Table 1 techniques: fine-grained deduplication,
+ * checkpointing, speculation, metadata management (taint tracking),
+ * flexible super-pages, and the page-sharing utility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "tech/checkpoint.hh"
+#include "tech/dedup.hh"
+#include "tech/metadata.hh"
+#include "tech/overlay_on_write.hh"
+#include "tech/speculation.hh"
+#include "tech/superpage.hh"
+
+namespace ovl
+{
+namespace
+{
+
+constexpr Addr kBase = 0x400000;
+
+class TechTest : public ::testing::Test
+{
+  protected:
+    TechTest() : sys(SystemConfig{}) { asid = sys.createProcess(); }
+
+    System sys;
+    Asid asid = 0;
+};
+
+// ----------------------------- sharePages ------------------------------
+
+TEST_F(TechTest, SharePagesGivesBorrowerTheData)
+{
+    sys.mapAnon(asid, kBase, kPageSize);
+    std::uint64_t magic = 0xABCD;
+    sys.poke(asid, kBase, &magic, 8);
+    Asid borrower = sys.createProcess();
+    tech::sharePages(sys, asid, borrower, kBase, kPageSize,
+                     ForkMode::OverlayOnWrite);
+    std::uint64_t got = 0;
+    sys.peek(borrower, kBase, &got, 8);
+    EXPECT_EQ(got, magic);
+    // A borrower write diverges one line only.
+    std::uint64_t newval = 0xEF01;
+    sys.write(borrower, kBase, &newval, 8, 0);
+    sys.peek(asid, kBase, &got, 8);
+    EXPECT_EQ(got, magic);
+    sys.peek(borrower, kBase, &got, 8);
+    EXPECT_EQ(got, newval);
+}
+
+// ------------------------------- dedup ---------------------------------
+
+TEST_F(TechTest, DedupMergesSimilarPages)
+{
+    // Four pages: two identical, one near-duplicate (1 line differs),
+    // one completely different.
+    sys.mapAnon(asid, kBase, 4 * kPageSize);
+    std::vector<std::uint8_t> content(kPageSize, 0x11);
+    sys.poke(asid, kBase + 0 * kPageSize, content.data(), kPageSize);
+    sys.poke(asid, kBase + 1 * kPageSize, content.data(), kPageSize);
+    content[100] = 0x22; // line 1 differs
+    sys.poke(asid, kBase + 2 * kPageSize, content.data(), kPageSize);
+    std::vector<std::uint8_t> other(kPageSize, 0x77);
+    sys.poke(asid, kBase + 3 * kPageSize, other.data(), kPageSize);
+
+    tech::DedupEngine engine(sys, tech::DedupParams{16});
+    std::vector<std::pair<Asid, Addr>> pages;
+    for (unsigned p = 0; p < 4; ++p)
+        pages.push_back({asid, kBase + p * kPageSize});
+    tech::DedupReport report = engine.deduplicate(pages);
+
+    EXPECT_EQ(report.pagesScanned, 4u);
+    EXPECT_EQ(report.pagesDeduplicated, 2u);
+    EXPECT_EQ(report.exactDuplicates, 1u);
+    EXPECT_EQ(report.diffLinesStored, 1u);
+    EXPECT_GT(report.bytesSaved(), 0);
+
+    // Contents are fully preserved through the overlay semantics.
+    std::uint8_t byte = 0;
+    sys.peek(asid, kBase + 1 * kPageSize + 100, &byte, 1);
+    EXPECT_EQ(byte, 0x11);
+    sys.peek(asid, kBase + 2 * kPageSize + 100, &byte, 1);
+    EXPECT_EQ(byte, 0x22);
+    sys.peek(asid, kBase + 3 * kPageSize + 100, &byte, 1);
+    EXPECT_EQ(byte, 0x77);
+}
+
+TEST_F(TechTest, DedupRespectsDiffThreshold)
+{
+    sys.mapAnon(asid, kBase, 2 * kPageSize);
+    std::vector<std::uint8_t> content(kPageSize, 0x11);
+    sys.poke(asid, kBase, content.data(), kPageSize);
+    // Second page differs in 32 lines.
+    for (unsigned l = 0; l < 32; ++l)
+        content[l * kLineSize] = 0x99;
+    sys.poke(asid, kBase + kPageSize, content.data(), kPageSize);
+
+    tech::DedupEngine engine(sys, tech::DedupParams{8});
+    tech::DedupReport report = engine.deduplicate(
+        {{asid, kBase}, {asid, kBase + kPageSize}});
+    EXPECT_EQ(report.pagesDeduplicated, 0u);
+}
+
+TEST_F(TechTest, DedupWriteAfterMergeDiverges)
+{
+    sys.mapAnon(asid, kBase, 2 * kPageSize);
+    std::vector<std::uint8_t> content(kPageSize, 0x33);
+    sys.poke(asid, kBase, content.data(), kPageSize);
+    sys.poke(asid, kBase + kPageSize, content.data(), kPageSize);
+    tech::DedupEngine engine(sys, tech::DedupParams{});
+    engine.deduplicate({{asid, kBase}, {asid, kBase + kPageSize}});
+
+    std::uint8_t newbyte = 0x44;
+    sys.write(asid, kBase + kPageSize + 7, &newbyte, 1, 0);
+    std::uint8_t got = 0;
+    sys.peek(asid, kBase + 7, &got, 1);
+    EXPECT_EQ(got, 0x33);
+    sys.peek(asid, kBase + kPageSize + 7, &got, 1);
+    EXPECT_EQ(got, 0x44);
+}
+
+// ----------------------------- checkpoint ------------------------------
+
+TEST_F(TechTest, CheckpointCapturesOnlyDeltas)
+{
+    sys.mapAnon(asid, kBase, 8 * kPageSize);
+    tech::CheckpointManager ckpt(sys, asid);
+    ckpt.addRange(kBase, 8 * kPageSize);
+
+    // Dirty 3 lines across 2 pages.
+    std::uint64_t v = 1;
+    sys.poke(asid, kBase + 0 * kLineSize, &v, 8);
+    sys.poke(asid, kBase + 9 * kLineSize, &v, 8);
+    sys.poke(asid, kBase + kPageSize + 5 * kLineSize, &v, 8);
+
+    tech::CheckpointStats stats = ckpt.takeCheckpoint(0);
+    EXPECT_EQ(stats.dirtyPages, 2u);
+    EXPECT_EQ(stats.dirtyLines, 3u);
+    // Delta bytes: 3 lines + 2 per-overlay metadata records.
+    EXPECT_EQ(stats.deltaBytes, (3 + 2) * kLineSize);
+    EXPECT_EQ(stats.pageGranBytes, 2 * kPageSize);
+    EXPECT_LT(stats.deltaBytes, stats.pageGranBytes / 10);
+}
+
+TEST_F(TechTest, CheckpointCommitsAndRearms)
+{
+    sys.mapAnon(asid, kBase, kPageSize);
+    tech::CheckpointManager ckpt(sys, asid);
+    ckpt.addRange(kBase, kPageSize);
+
+    std::uint64_t v1 = 41;
+    sys.poke(asid, kBase, &v1, 8);
+    ckpt.takeCheckpoint(0);
+    // After the checkpoint the data persists in the base page...
+    std::uint64_t got = 0;
+    sys.peek(asid, kBase, &got, 8);
+    EXPECT_EQ(got, 41u);
+    EXPECT_TRUE(sys.pageObv(asid, kBase).none());
+
+    // ... and the next interval captures fresh deltas only.
+    std::uint64_t v2 = 42;
+    sys.poke(asid, kBase + kLineSize, &v2, 8);
+    tech::CheckpointStats stats = ckpt.takeCheckpoint(1000);
+    EXPECT_EQ(stats.dirtyLines, 1u);
+    EXPECT_EQ(ckpt.checkpointsTaken(), 2u);
+}
+
+TEST_F(TechTest, QuietIntervalCheckpointIsFree)
+{
+    sys.mapAnon(asid, kBase, 4 * kPageSize);
+    tech::CheckpointManager ckpt(sys, asid);
+    ckpt.addRange(kBase, 4 * kPageSize);
+    tech::CheckpointStats stats = ckpt.takeCheckpoint(0);
+    EXPECT_EQ(stats.dirtyPages, 0u);
+    EXPECT_EQ(stats.deltaBytes, 0u);
+}
+
+// ----------------------------- speculation -----------------------------
+
+TEST_F(TechTest, SpeculationCommitMakesUpdatesPermanent)
+{
+    sys.mapAnon(asid, kBase, kPageSize);
+    std::uint64_t v = 10;
+    sys.poke(asid, kBase, &v, 8);
+
+    tech::SpeculativeRegion region(sys, asid);
+    region.begin(kBase, kPageSize);
+    std::uint64_t spec = 20;
+    sys.write(asid, kBase, &spec, 8, 0);
+    EXPECT_EQ(region.speculativeLines(), 1u);
+    tech::SpeculationStats stats = region.commit(1000);
+    EXPECT_TRUE(stats.committed);
+    EXPECT_EQ(stats.speculativeLines, 1u);
+
+    std::uint64_t got = 0;
+    sys.peek(asid, kBase, &got, 8);
+    EXPECT_EQ(got, 20u);
+    EXPECT_TRUE(sys.pageObv(asid, kBase).none());
+}
+
+TEST_F(TechTest, SpeculationAbortLeavesMemoryUntouched)
+{
+    sys.mapAnon(asid, kBase, kPageSize);
+    std::uint64_t v = 10;
+    sys.poke(asid, kBase, &v, 8);
+
+    tech::SpeculativeRegion region(sys, asid);
+    region.begin(kBase, kPageSize);
+    std::uint64_t spec = 99;
+    sys.write(asid, kBase, &spec, 8, 0);
+    std::uint64_t got = 0;
+    sys.peek(asid, kBase, &got, 8);
+    EXPECT_EQ(got, 99u); // visible inside the region
+    region.abort(1000);
+    sys.peek(asid, kBase, &got, 8);
+    EXPECT_EQ(got, 10u); // rolled back
+}
+
+TEST_F(TechTest, SpeculationSurvivesCacheOverflow)
+{
+    // §5.3.3: unlike cache-based speculation, overlays are not bounded
+    // by cache capacity. Write far more lines than the L1 holds.
+    std::uint64_t span = 64 * kPageSize; // 4096 lines > 1024 L1 lines
+    sys.mapAnon(asid, kBase, span);
+    tech::SpeculativeRegion region(sys, asid);
+    region.begin(kBase, span);
+    Tick t = 0;
+    for (Addr a = kBase; a < kBase + span; a += kLineSize)
+        t = sys.access(asid, a, true, t);
+    EXPECT_EQ(region.speculativeLines(), span / kLineSize);
+    tech::SpeculationStats stats = region.abort(t);
+    EXPECT_EQ(stats.speculativePages, 64u);
+}
+
+// ------------------------------ metadata -------------------------------
+
+TEST_F(TechTest, TaintPropagatesThroughCopies)
+{
+    sys.mapAnon(asid, kBase, 2 * kPageSize);
+    tech::TaintTracker taint(sys, asid);
+    taint.enable(kBase, 2 * kPageSize);
+
+    std::uint64_t secret = 0x5EC;
+    sys.poke(asid, kBase, &secret, 8);
+    taint.setTaint(kBase, 8, true, 0);
+    EXPECT_TRUE(taint.isTainted(kBase, 8));
+    EXPECT_FALSE(taint.isTainted(kBase + 64, 8));
+
+    // A propagating copy carries both data and taint.
+    taint.taintedCopy(kBase + kPageSize, kBase, 8, 0);
+    EXPECT_TRUE(taint.isTainted(kBase + kPageSize, 8));
+    std::uint64_t got = 0;
+    sys.peek(asid, kBase + kPageSize, &got, 8);
+    EXPECT_EQ(got, secret);
+
+    // Untainted copy clears the destination's taint.
+    taint.setTaint(kBase + 8, 8, false, 0);
+    taint.taintedCopy(kBase + kPageSize, kBase + 8, 8, 0);
+    EXPECT_FALSE(taint.isTainted(kBase + kPageSize, 8));
+}
+
+TEST_F(TechTest, ShadowMemoryIsOutOfBand)
+{
+    sys.mapAnon(asid, kBase, kPageSize);
+    tech::ShadowMemory shadow(sys, asid);
+    shadow.enable(kBase, kPageSize);
+    std::uint64_t data = 123;
+    sys.poke(asid, kBase, &data, 8);
+    std::uint8_t meta = 7;
+    shadow.pokeMeta(kBase, &meta, 1);
+    // Data and metadata coexist at the "same" virtual address.
+    std::uint64_t dgot = 0;
+    sys.peek(asid, kBase, &dgot, 8);
+    std::uint8_t mgot = 0;
+    shadow.peekMeta(kBase, &mgot, 1);
+    EXPECT_EQ(dgot, 123u);
+    EXPECT_EQ(mgot, 7);
+    EXPECT_EQ(shadow.shadowLines(kBase), 1u);
+}
+
+// ------------------------------ superpage ------------------------------
+
+TEST_F(TechTest, SuperPageSegmentCow)
+{
+    tech::SuperPageManager spm(sys);
+    Addr sp_base = 0x4000'0000; // 2 MB aligned
+    spm.mapSuperPage(asid, sp_base);
+    Asid clone = sys.createProcess();
+    spm.share(asid, clone, sp_base);
+
+    tech::SuperPageCowStats stats;
+    spm.write(clone, sp_base + 5 * tech::kSegmentSize + 123, 0, &stats);
+    EXPECT_EQ(stats.segmentCopies, 1u);
+    EXPECT_EQ(stats.bytesCopied, tech::kSegmentSize);
+    EXPECT_TRUE(spm.segmentVector(clone, sp_base).test(5));
+    EXPECT_EQ(spm.segmentVector(clone, sp_base).count(), 1u);
+
+    // Second write to the same segment: no further copying.
+    spm.write(clone, sp_base + 5 * tech::kSegmentSize + 4096, 100, &stats);
+    EXPECT_EQ(stats.segmentCopies, 1u);
+
+    // The flexible scheme copied 32 KB where rigid CoW copies 2 MB.
+    EXPECT_EQ(spm.flexibleBytes(), tech::kSegmentSize);
+    EXPECT_EQ(spm.rigidBytes(), tech::kSuperPageSize);
+}
+
+TEST_F(TechTest, SuperPageSegmentProtection)
+{
+    tech::SuperPageManager spm(sys);
+    Addr sp_base = 0x4000'0000;
+    spm.mapSuperPage(asid, sp_base);
+    EXPECT_TRUE(spm.isWritable(asid, sp_base));
+    spm.protectSegment(asid, sp_base + 3 * tech::kSegmentSize, false);
+    EXPECT_FALSE(
+        spm.isWritable(asid, sp_base + 3 * tech::kSegmentSize + 64));
+    // Other segments of the same super-page stay writable: multiple
+    // protection domains within one super-page (§5.3.5).
+    EXPECT_TRUE(spm.isWritable(asid, sp_base + 4 * tech::kSegmentSize));
+}
+
+} // namespace
+} // namespace ovl

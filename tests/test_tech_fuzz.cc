@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Randomized batteries for the Table 1 techniques: checkpoint/restore
+ * against a versioned host shadow, repeated speculation episodes with
+ * random commit/abort decisions, and deduplication over random page
+ * populations (contents must be bit-identical before and after).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.hh"
+#include "tech/checkpoint.hh"
+#include "tech/dedup.hh"
+#include "tech/speculation.hh"
+
+namespace ovl
+{
+namespace
+{
+
+constexpr Addr kBase = 0x400000;
+
+class TechFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TechFuzz, CheckpointRestoreMatchesVersionedShadow)
+{
+    Rng rng(GetParam());
+    constexpr unsigned kPages = 4;
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapAnon(asid, kBase, kPages * kPageSize);
+    tech::CheckpointManager ckpt(sys, asid);
+    ckpt.addRange(kBase, kPages * kPageSize);
+
+    using Image = std::vector<std::uint8_t>;
+    Image shadow(kPages * kPageSize, 0);
+    std::vector<Image> versions{shadow}; // versions[k] = checkpoint k
+    Tick t = 0;
+
+    for (unsigned step = 0; step < 600; ++step) {
+        unsigned dice = unsigned(rng.below(20));
+        if (dice == 0) { // take a checkpoint
+            ckpt.takeCheckpoint(t);
+            versions.push_back(shadow);
+        } else if (dice == 1 && versions.size() > 1) { // restore
+            std::size_t k = rng.below(versions.size());
+            t = ckpt.restore(k, t);
+            shadow = versions[k];
+            versions.resize(k + 1); // linear history: later ones die
+        } else { // write
+            Addr offset = rng.below(kPages * kPageSize - 8);
+            std::uint64_t value = rng.next();
+            sys.poke(asid, kBase + offset, &value, 8);
+            std::memcpy(shadow.data() + offset, &value, 8);
+        }
+        if (step % 97 == 0) {
+            Image got(kPages * kPageSize);
+            for (unsigned p = 0; p < kPages; ++p) {
+                sys.peek(asid, kBase + p * kPageSize,
+                         got.data() + p * kPageSize, kPageSize);
+            }
+            ASSERT_EQ(got, shadow) << "step " << step;
+        }
+    }
+}
+
+TEST_P(TechFuzz, SpeculationEpisodesNeverLeak)
+{
+    Rng rng(GetParam() + 1000);
+    constexpr unsigned kPages = 8;
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapAnon(asid, kBase, kPages * kPageSize);
+
+    std::vector<std::uint8_t> shadow(kPages * kPageSize, 0);
+    Tick t = 0;
+    for (unsigned episode = 0; episode < 30; ++episode) {
+        tech::SpeculativeRegion region(sys, asid);
+        region.begin(kBase, kPages * kPageSize);
+        std::vector<std::pair<Addr, std::uint64_t>> spec_writes;
+        unsigned writes = 1 + unsigned(rng.below(40));
+        for (unsigned w = 0; w < writes; ++w) {
+            Addr offset = rng.below(kPages * kPageSize - 8);
+            std::uint64_t value = rng.next();
+            t = sys.write(asid, kBase + offset, &value, 8, t);
+            spec_writes.push_back({offset, value});
+        }
+        if (rng.chance(0.5)) {
+            region.commit(t);
+            for (auto &[offset, value] : spec_writes)
+                std::memcpy(shadow.data() + offset, &value, 8);
+        } else {
+            region.abort(t);
+        }
+        std::vector<std::uint8_t> got(kPages * kPageSize);
+        for (unsigned p = 0; p < kPages; ++p) {
+            sys.peek(asid, kBase + p * kPageSize,
+                     got.data() + p * kPageSize, kPageSize);
+        }
+        ASSERT_EQ(got, shadow) << "episode " << episode;
+    }
+}
+
+TEST_P(TechFuzz, DedupPreservesEveryByte)
+{
+    Rng rng(GetParam() + 2000);
+    constexpr unsigned kPages = 48;
+    System sys((SystemConfig()));
+    Asid asid = sys.createProcess();
+    sys.mapAnon(asid, kBase, kPages * kPageSize);
+
+    // A handful of base contents, randomly perturbed per page.
+    std::vector<std::vector<std::uint8_t>> bases(4);
+    for (auto &base : bases) {
+        base.resize(kPageSize);
+        for (auto &b : base)
+            b = std::uint8_t(rng.next());
+    }
+    std::vector<std::vector<std::uint8_t>> truth(kPages);
+    std::vector<std::pair<Asid, Addr>> pages;
+    for (unsigned p = 0; p < kPages; ++p) {
+        truth[p] = bases[rng.below(bases.size())];
+        unsigned perturb = unsigned(rng.below(4)); // 0..3 dirty bytes
+        for (unsigned i = 0; i < perturb; ++i)
+            truth[p][rng.below(kPageSize)] ^= 0xFF;
+        sys.poke(asid, kBase + p * kPageSize, truth[p].data(), kPageSize);
+        pages.push_back({asid, kBase + p * kPageSize});
+    }
+
+    tech::DedupEngine engine(sys, tech::DedupParams{8});
+    tech::DedupReport report = engine.deduplicate(pages);
+    EXPECT_GT(report.pagesDeduplicated, 0u);
+    EXPECT_GE(report.bytesSaved(), 0);
+
+    for (unsigned p = 0; p < kPages; ++p) {
+        std::vector<std::uint8_t> got(kPageSize);
+        sys.peek(asid, kBase + p * kPageSize, got.data(), kPageSize);
+        ASSERT_EQ(got, truth[p]) << "page " << p;
+    }
+
+    // Post-dedup writes still diverge correctly.
+    for (unsigned p = 0; p < kPages; p += 7) {
+        std::uint8_t v = std::uint8_t(0xC0 + p);
+        Addr offset = rng.below(kPageSize);
+        sys.write(asid, kBase + p * kPageSize + offset, &v, 1, 0);
+        truth[p][offset] = v;
+    }
+    for (unsigned p = 0; p < kPages; ++p) {
+        std::vector<std::uint8_t> got(kPageSize);
+        sys.peek(asid, kBase + p * kPageSize, got.data(), kPageSize);
+        ASSERT_EQ(got, truth[p]) << "post-write page " << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TechFuzz, ::testing::Values(5, 55, 555));
+
+} // namespace
+} // namespace ovl

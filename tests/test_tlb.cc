@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the two-level TLB with OBitVector extension and the
+ * overlaying-read-exclusive coherence hook (§4.3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/tlb.hh"
+
+namespace ovl
+{
+namespace
+{
+
+TlbEntryData
+entry(Addr ppn)
+{
+    TlbEntryData d;
+    d.ppn = ppn;
+    d.writable = true;
+    return d;
+}
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb("tlb", TlbParams{64, 4, 1});
+    EXPECT_EQ(tlb.lookup(1, 100), nullptr);
+    tlb.insert(1, 100, entry(7));
+    TlbEntryData *e = tlb.lookup(1, 100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppn, 7u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, AsidsAreDisjoint)
+{
+    Tlb tlb("tlb", TlbParams{64, 4, 1});
+    tlb.insert(1, 100, entry(7));
+    EXPECT_EQ(tlb.lookup(2, 100), nullptr);
+    tlb.insert(2, 100, entry(9));
+    EXPECT_EQ(tlb.lookup(1, 100)->ppn, 7u);
+    EXPECT_EQ(tlb.lookup(2, 100)->ppn, 9u);
+}
+
+TEST(Tlb, InsertEvictsLruWithinSet)
+{
+    Tlb tlb("tlb", TlbParams{8, 2, 1}); // 4 sets, 2 ways
+    // Same set: VPNs congruent mod 4.
+    tlb.insert(1, 0, entry(10));
+    tlb.insert(1, 4, entry(11));
+    tlb.lookup(1, 0); // refresh vpn 0
+    tlb.insert(1, 8, entry(12)); // evicts vpn 4
+    EXPECT_NE(tlb.lookup(1, 0), nullptr);
+    EXPECT_EQ(tlb.lookup(1, 4), nullptr);
+    EXPECT_NE(tlb.lookup(1, 8), nullptr);
+}
+
+TEST(Tlb, ReinsertUpdatesInPlace)
+{
+    Tlb tlb("tlb", TlbParams{8, 2, 1});
+    tlb.insert(1, 0, entry(10));
+    tlb.insert(1, 0, entry(20));
+    EXPECT_EQ(tlb.lookup(1, 0)->ppn, 20u);
+}
+
+TEST(Tlb, InvalidateAsidDropsOnlyThatProcess)
+{
+    Tlb tlb("tlb", TlbParams{64, 4, 1});
+    tlb.insert(1, 5, entry(1));
+    tlb.insert(2, 5, entry(2));
+    tlb.invalidateAsid(1);
+    EXPECT_EQ(tlb.lookup(1, 5), nullptr);
+    EXPECT_NE(tlb.lookup(2, 5), nullptr);
+}
+
+TEST(Tlb, CoherenceUpdatesObvBit)
+{
+    Tlb tlb("tlb", TlbParams{64, 4, 1});
+    tlb.insert(1, 5, entry(1));
+    EXPECT_TRUE(tlb.updateObvBit(1, 5, 13, true));
+    EXPECT_TRUE(tlb.lookup(1, 5)->obv.test(13));
+    EXPECT_TRUE(tlb.updateObvBit(1, 5, 13, false));
+    EXPECT_FALSE(tlb.lookup(1, 5)->obv.test(13));
+    // Absent mappings report false (no TLB holds the page).
+    EXPECT_FALSE(tlb.updateObvBit(1, 99, 0, true));
+}
+
+TEST(TwoLevelTlb, L1HitLatency)
+{
+    TwoLevelTlb tlb("tlb", TlbHierarchyParams{});
+    tlb.fill(1, 42, entry(3));
+    TlbAccessResult res = tlb.access(1, 42);
+    ASSERT_NE(res.entry, nullptr);
+    EXPECT_FALSE(res.needsWalk);
+    EXPECT_EQ(res.latency, 1u);
+}
+
+TEST(TwoLevelTlb, L2HitPromotesToL1)
+{
+    TwoLevelTlb tlb("tlb", TlbHierarchyParams{});
+    tlb.fill(1, 42, entry(3));
+    tlb.l1().invalidate(1, 42);
+    TlbAccessResult res = tlb.access(1, 42);
+    ASSERT_NE(res.entry, nullptr);
+    EXPECT_EQ(res.latency, 1u + 10u); // L1 miss + L2 hit
+    // Promoted: next access is an L1 hit.
+    EXPECT_EQ(tlb.access(1, 42).latency, 1u);
+}
+
+TEST(TwoLevelTlb, FullMissChargesWalk)
+{
+    TwoLevelTlb tlb("tlb", TlbHierarchyParams{});
+    TlbAccessResult res = tlb.access(1, 42);
+    EXPECT_TRUE(res.needsWalk);
+    EXPECT_EQ(res.entry, nullptr);
+    EXPECT_EQ(res.latency, 1u + 10u + 1000u); // Table 2: miss = 1000
+}
+
+TEST(TwoLevelTlb, CoherenceReachesBothLevels)
+{
+    TwoLevelTlb tlb("tlb", TlbHierarchyParams{});
+    tlb.fill(1, 42, entry(3));
+    EXPECT_TRUE(tlb.updateObvBit(1, 42, 7, true));
+    EXPECT_TRUE(tlb.l1().probe(1, 42)->obv.test(7));
+    EXPECT_TRUE(tlb.l2().probe(1, 42)->obv.test(7));
+}
+
+TEST(TwoLevelTlb, InvalidateDropsBothLevels)
+{
+    TwoLevelTlb tlb("tlb", TlbHierarchyParams{});
+    tlb.fill(1, 42, entry(3));
+    tlb.invalidate(1, 42);
+    EXPECT_TRUE(tlb.access(1, 42).needsWalk);
+}
+
+TEST(TwoLevelTlb, ReturnedEntryPointsIntoL1)
+{
+    // Coherence updates through the returned pointer must be the copy
+    // the core actually reads (the L1 entry).
+    TwoLevelTlb tlb("tlb", TlbHierarchyParams{});
+    TlbEntryData *filled = tlb.fill(1, 42, entry(3));
+    filled->obv.set(11);
+    EXPECT_TRUE(tlb.l1().probe(1, 42)->obv.test(11));
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for trace serialization: round-tripping, summaries, malformed
+ * input rejection (via death tests on the fatal paths), and replay
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/random.hh"
+#include "cpu/trace_io.hh"
+
+namespace ovl
+{
+namespace
+{
+
+Trace
+randomTrace(std::uint64_t seed, std::size_t records)
+{
+    Rng rng(seed);
+    Trace trace;
+    for (std::size_t i = 0; i < records; ++i) {
+        switch (rng.below(3)) {
+          case 0:
+            trace.push_back(TraceOp::load(rng.below(1 << 24) * 8,
+                                          rng.chance(0.2)));
+            break;
+          case 1:
+            trace.push_back(TraceOp::store(rng.below(1 << 24) * 8));
+            break;
+          default:
+            trace.push_back(
+                TraceOp::compute(std::uint32_t(1 + rng.below(40))));
+            break;
+        }
+    }
+    return trace;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    Trace original = randomTrace(7, 500);
+    std::stringstream ss;
+    std::uint64_t bytes = writeTrace(ss, original);
+    EXPECT_EQ(bytes, 16u + 500u * 16u);
+
+    Trace loaded = readTrace(ss);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].kind, original[i].kind);
+        EXPECT_EQ(loaded[i].dependsOnPrev, original[i].dependsOnPrev);
+        EXPECT_EQ(loaded[i].count, original[i].count);
+        EXPECT_EQ(loaded[i].vaddr, original[i].vaddr);
+    }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    std::stringstream ss;
+    writeTrace(ss, Trace{});
+    EXPECT_TRUE(readTrace(ss).empty());
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    Trace original = randomTrace(9, 100);
+    std::string path = ::testing::TempDir() + "/ovl_trace_test.bin";
+    saveTraceFile(path, original);
+    Trace loaded = loadTraceFile(path);
+    EXPECT_EQ(loaded.size(), original.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeathTest, BadMagicIsFatal)
+{
+    std::stringstream ss;
+    ss << "NOPE-this-is-not-a-trace";
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(TraceIoDeathTest, TruncationIsFatal)
+{
+    Trace original = randomTrace(3, 10);
+    std::stringstream ss;
+    writeTrace(ss, original);
+    std::string bytes = ss.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() - 8));
+    EXPECT_EXIT(readTrace(truncated), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(TraceIo, SummaryCountsAreExact)
+{
+    Trace trace;
+    trace.push_back(TraceOp::compute(10));
+    trace.push_back(TraceOp::load(0x1000));
+    trace.push_back(TraceOp::load(0x2000, true));
+    trace.push_back(TraceOp::store(0x1040));
+    TraceSummary summary = summarizeTrace(trace);
+    EXPECT_EQ(summary.records, 4u);
+    EXPECT_EQ(summary.instructions, 13u);
+    EXPECT_EQ(summary.loads, 2u);
+    EXPECT_EQ(summary.stores, 1u);
+    EXPECT_EQ(summary.dependentOps, 1u);
+    EXPECT_EQ(summary.minAddr, 0x1000u);
+    EXPECT_EQ(summary.maxAddr, 0x2000u);
+    EXPECT_EQ(summary.touchedPages, 2u);
+}
+
+TEST(TraceIo, ReplayOfLoadedTraceIsDeterministic)
+{
+    Trace trace = randomTrace(21, 300);
+    // Keep addresses inside a mapped window.
+    for (TraceOp &op : trace) {
+        if (op.kind != TraceOp::Kind::Compute)
+            op.vaddr = 0x100000 + (op.vaddr % (16 * kPageSize - 8));
+    }
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    Trace loaded = readTrace(ss);
+
+    auto run = [](const Trace &t) {
+        System sys((SystemConfig()));
+        OooCore core("core", sys);
+        Asid asid = sys.createProcess();
+        sys.mapAnon(asid, 0x100000, 16 * kPageSize);
+        return core.run(asid, t, 0);
+    };
+    EXPECT_EQ(run(trace), run(loaded));
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the functional VM layer: physical memory (frames, refcounts,
+ * zero frame), page tables, and the Vmm (mapping, fork, CoW breaks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "vm/vmm.hh"
+
+namespace ovl
+{
+namespace
+{
+
+TEST(PhysicalMemory, FreshFramesReadAsZero)
+{
+    PhysicalMemory mem("mem", 64_MiB);
+    Addr frame = mem.allocFrame();
+    LineData line;
+    mem.readLine(frame << kPageShift, line);
+    for (std::uint8_t b : line)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(PhysicalMemory, WriteReadRoundTrip)
+{
+    PhysicalMemory mem("mem", 64_MiB);
+    Addr frame = mem.allocFrame();
+    Addr paddr = (frame << kPageShift) + 100;
+    std::uint32_t value = 0xDEADBEEF;
+    mem.writeBytes(paddr, &value, sizeof(value));
+    std::uint32_t got = 0;
+    mem.readBytes(paddr, &got, sizeof(got));
+    EXPECT_EQ(got, value);
+}
+
+TEST(PhysicalMemory, RefcountLifecycle)
+{
+    PhysicalMemory mem("mem", 64_MiB);
+    Addr frame = mem.allocFrame();
+    EXPECT_EQ(mem.refCount(frame), 1u);
+    mem.addRef(frame);
+    EXPECT_EQ(mem.refCount(frame), 2u);
+    mem.release(frame);
+    EXPECT_EQ(mem.refCount(frame), 1u);
+    std::uint64_t in_use = mem.framesInUse();
+    mem.release(frame);
+    EXPECT_EQ(mem.refCount(frame), 0u);
+    EXPECT_EQ(mem.framesInUse(), in_use - 1);
+}
+
+TEST(PhysicalMemory, FreedFramesAreRecycledWithZeroContents)
+{
+    PhysicalMemory mem("mem", 64_MiB);
+    Addr frame = mem.allocFrame();
+    std::uint8_t junk = 0xAB;
+    mem.writeBytes(frame << kPageShift, &junk, 1);
+    mem.release(frame);
+    Addr again = mem.allocFrame();
+    EXPECT_EQ(again, frame); // LIFO free list
+    std::uint8_t got = 0xFF;
+    mem.readBytes(again << kPageShift, &got, 1);
+    EXPECT_EQ(got, 0);
+}
+
+TEST(PhysicalMemory, ZeroFrameNeverDies)
+{
+    PhysicalMemory mem("mem", 64_MiB);
+    mem.release(PhysicalMemory::kZeroFrame);
+    EXPECT_GE(mem.refCount(PhysicalMemory::kZeroFrame), 1u);
+}
+
+TEST(PhysicalMemory, CopyFrameDuplicatesContents)
+{
+    PhysicalMemory mem("mem", 64_MiB);
+    Addr a = mem.allocFrame();
+    Addr b = mem.allocFrame();
+    std::uint64_t magic = 0x123456789ABCDEF0;
+    mem.writeBytes((a << kPageShift) + 8, &magic, 8);
+    mem.copyFrame(b, a);
+    std::uint64_t got = 0;
+    mem.readBytes((b << kPageShift) + 8, &got, 8);
+    EXPECT_EQ(got, magic);
+}
+
+TEST(PageTable, SetFindErase)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.find(5), nullptr);
+    Pte pte;
+    pte.ppn = 9;
+    pte.present = true;
+    pt.set(5, pte);
+    ASSERT_NE(pt.find(5), nullptr);
+    EXPECT_EQ(pt.find(5)->ppn, 9u);
+    pt.erase(5);
+    EXPECT_EQ(pt.find(5), nullptr);
+}
+
+class VmmTest : public ::testing::Test
+{
+  protected:
+    VmmTest() : mem("mem", 256_MiB), vmm("vmm", mem) {}
+
+    PhysicalMemory mem;
+    Vmm vmm;
+};
+
+TEST_F(VmmTest, MapAnonAllocatesPrivateFrames)
+{
+    Asid pid = vmm.createProcess();
+    vmm.mapAnon(pid, 0x10000, 4 * kPageSize);
+    for (unsigned i = 0; i < 4; ++i) {
+        Pte *pte = vmm.resolve(pid, pageNumber(0x10000) + i);
+        ASSERT_NE(pte, nullptr);
+        EXPECT_TRUE(pte->present);
+        EXPECT_TRUE(pte->writable);
+        EXPECT_FALSE(pte->cow);
+        EXPECT_EQ(mem.refCount(pte->ppn), 1u);
+    }
+}
+
+TEST_F(VmmTest, MapZeroCowMapsSharedZeroFrame)
+{
+    Asid pid = vmm.createProcess();
+    vmm.mapZeroCow(pid, 0x10000, kPageSize, true);
+    Pte *pte = vmm.resolve(pid, pageNumber(0x10000));
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(pte->ppn, PhysicalMemory::kZeroFrame);
+    EXPECT_TRUE(pte->cow);
+    EXPECT_TRUE(pte->overlayEnabled);
+}
+
+TEST_F(VmmTest, ForkSharesFramesCopyOnWrite)
+{
+    Asid parent = vmm.createProcess();
+    vmm.mapAnon(parent, 0x10000, 2 * kPageSize);
+    Addr ppn0 = vmm.resolve(parent, pageNumber(0x10000))->ppn;
+
+    Asid child = vmm.fork(parent, ForkMode::CopyOnWrite);
+    Pte *parent_pte = vmm.resolve(parent, pageNumber(0x10000));
+    Pte *child_pte = vmm.resolve(child, pageNumber(0x10000));
+    ASSERT_NE(child_pte, nullptr);
+    EXPECT_EQ(parent_pte->ppn, child_pte->ppn);
+    EXPECT_EQ(child_pte->ppn, ppn0);
+    EXPECT_TRUE(parent_pte->cow);
+    EXPECT_TRUE(child_pte->cow);
+    EXPECT_FALSE(parent_pte->overlayEnabled);
+    EXPECT_EQ(mem.refCount(ppn0), 2u);
+}
+
+TEST_F(VmmTest, ForkOverlayModeSetsOverlayBit)
+{
+    Asid parent = vmm.createProcess();
+    vmm.mapAnon(parent, 0x10000, kPageSize);
+    Asid child = vmm.fork(parent, ForkMode::OverlayOnWrite);
+    EXPECT_TRUE(vmm.resolve(parent, pageNumber(0x10000))->overlayEnabled);
+    EXPECT_TRUE(vmm.resolve(child, pageNumber(0x10000))->overlayEnabled);
+}
+
+TEST_F(VmmTest, ForkSkipsReadOnlyPagesForCow)
+{
+    Asid parent = vmm.createProcess();
+    vmm.mapAnon(parent, 0x10000, kPageSize, /*writable=*/false);
+    Asid child = vmm.fork(parent, ForkMode::CopyOnWrite);
+    EXPECT_FALSE(vmm.resolve(parent, pageNumber(0x10000))->cow);
+    EXPECT_FALSE(vmm.resolve(child, pageNumber(0x10000))->cow);
+    // Still shared (read-only sharing needs no CoW).
+    EXPECT_EQ(vmm.resolve(parent, pageNumber(0x10000))->ppn,
+              vmm.resolve(child, pageNumber(0x10000))->ppn);
+}
+
+TEST_F(VmmTest, BreakCowCopiesWhenShared)
+{
+    Asid parent = vmm.createProcess();
+    vmm.mapAnon(parent, 0x10000, kPageSize);
+    std::uint64_t magic = 0xFEEDFACE;
+    Pte *pte = vmm.resolve(parent, pageNumber(0x10000));
+    mem.writeBytes(pte->ppn << kPageShift, &magic, 8);
+
+    Asid child = vmm.fork(parent, ForkMode::CopyOnWrite);
+    Addr shared_ppn = pte->ppn;
+    bool copied = false;
+    Addr new_ppn = vmm.breakCow(child, pageNumber(0x10000), &copied);
+    EXPECT_TRUE(copied);
+    EXPECT_NE(new_ppn, shared_ppn);
+    // Contents were carried over.
+    std::uint64_t got = 0;
+    mem.readBytes(new_ppn << kPageShift, &got, 8);
+    EXPECT_EQ(got, magic);
+    // The parent still maps the original, now with refcount 1.
+    EXPECT_EQ(vmm.resolve(parent, pageNumber(0x10000))->ppn, shared_ppn);
+    EXPECT_EQ(mem.refCount(shared_ppn), 1u);
+    EXPECT_FALSE(vmm.resolve(child, pageNumber(0x10000))->cow);
+}
+
+TEST_F(VmmTest, BreakCowLastSharerKeepsFrame)
+{
+    Asid parent = vmm.createProcess();
+    vmm.mapAnon(parent, 0x10000, kPageSize);
+    Asid child = vmm.fork(parent, ForkMode::CopyOnWrite);
+    vmm.breakCow(child, pageNumber(0x10000));
+    // Parent is now the last sharer: no copy needed.
+    Addr parent_ppn = vmm.resolve(parent, pageNumber(0x10000))->ppn;
+    bool copied = true;
+    Addr got = vmm.breakCow(parent, pageNumber(0x10000), &copied);
+    EXPECT_FALSE(copied);
+    EXPECT_EQ(got, parent_ppn);
+}
+
+TEST_F(VmmTest, BreakCowOnZeroFrameAllocatesZeroedPage)
+{
+    Asid pid = vmm.createProcess();
+    vmm.mapZeroCow(pid, 0x10000, kPageSize, false);
+    bool copied = false;
+    Addr ppn = vmm.breakCow(pid, pageNumber(0x10000), &copied);
+    EXPECT_TRUE(copied);
+    EXPECT_NE(ppn, PhysicalMemory::kZeroFrame);
+    LineData line;
+    mem.readLine(ppn << kPageShift, line);
+    for (std::uint8_t b : line)
+        EXPECT_EQ(b, 0);
+}
+
+TEST_F(VmmTest, UnmapReleasesFrames)
+{
+    Asid pid = vmm.createProcess();
+    vmm.mapAnon(pid, 0x10000, 2 * kPageSize);
+    std::uint64_t before = mem.framesInUse();
+    vmm.unmap(pid, 0x10000, 2 * kPageSize);
+    EXPECT_EQ(mem.framesInUse(), before - 2);
+    EXPECT_EQ(vmm.resolve(pid, pageNumber(0x10000)), nullptr);
+}
+
+TEST_F(VmmTest, ProtectTogglesWritable)
+{
+    Asid pid = vmm.createProcess();
+    vmm.mapAnon(pid, 0x10000, kPageSize);
+    vmm.protect(pid, 0x10000, kPageSize, false);
+    EXPECT_FALSE(vmm.resolve(pid, pageNumber(0x10000))->writable);
+    vmm.protect(pid, 0x10000, kPageSize, true);
+    EXPECT_TRUE(vmm.resolve(pid, pageNumber(0x10000))->writable);
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Randomized multi-process VM battery: arbitrary interleavings of fork,
+ * write (with CoW or overlay divergence), unmap and teardown across a
+ * process tree, verified against per-process host shadows; plus frame
+ * refcount conservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/random.hh"
+#include "system/system.hh"
+
+namespace ovl
+{
+namespace
+{
+
+constexpr Addr kBase = 0x100000;
+constexpr unsigned kPages = 6;
+
+class VmFuzz : public ::testing::TestWithParam<
+                   std::tuple<std::uint64_t, ForkMode>>
+{
+};
+
+TEST_P(VmFuzz, ProcessTreeContentsMatchShadows)
+{
+    auto [seed, mode] = GetParam();
+    Rng rng(seed);
+    System sys((SystemConfig()));
+
+    struct Proc
+    {
+        Asid asid;
+        bool alive = true;
+        std::vector<std::uint8_t> shadow;
+    };
+    std::vector<Proc> procs;
+
+    Proc root;
+    root.asid = sys.createProcess();
+    root.shadow.assign(kPages * kPageSize, 0);
+    sys.mapAnon(root.asid, kBase, kPages * kPageSize);
+    procs.push_back(std::move(root));
+
+    Tick t = 0;
+    for (unsigned step = 0; step < 2500; ++step) {
+        // Pick a live process.
+        std::vector<std::size_t> live;
+        for (std::size_t i = 0; i < procs.size(); ++i) {
+            if (procs[i].alive)
+                live.push_back(i);
+        }
+        ASSERT_FALSE(live.empty());
+        std::size_t pi = live[rng.below(live.size())];
+
+        switch (rng.below(10)) {
+          case 0: { // fork (bounded tree size)
+            if (procs.size() >= 6)
+                break;
+            Asid child = sys.fork(procs[pi].asid, mode, t, &t);
+            Proc c;
+            c.asid = child;
+            c.shadow = procs[pi].shadow; // inherits the parent's view
+            procs.push_back(std::move(c));
+            break;
+          }
+          case 1: { // teardown (keep at least one process)
+            if (live.size() < 2)
+                break;
+            sys.destroyProcess(procs[pi].asid, t);
+            procs[pi].alive = false;
+            break;
+          }
+          default: { // write or read
+            Addr offset = rng.below(kPages * kPageSize - 8);
+            if (rng.chance(0.5)) {
+                std::uint64_t value = rng.next();
+                t = sys.write(procs[pi].asid, kBase + offset, &value, 8,
+                              t);
+                std::memcpy(procs[pi].shadow.data() + offset, &value, 8);
+            } else {
+                std::uint64_t got = 0, want = 0;
+                sys.peek(procs[pi].asid, kBase + offset, &got, 8);
+                std::memcpy(&want, procs[pi].shadow.data() + offset, 8);
+                ASSERT_EQ(got, want)
+                    << "proc " << pi << " step " << step;
+            }
+            break;
+          }
+        }
+    }
+
+    // Full sweep: every live process sees exactly its own history.
+    for (const Proc &proc : procs) {
+        if (!proc.alive)
+            continue;
+        std::vector<std::uint8_t> got(kPages * kPageSize);
+        for (unsigned p = 0; p < kPages; ++p) {
+            sys.peek(proc.asid, kBase + p * kPageSize,
+                     got.data() + p * kPageSize, kPageSize);
+        }
+        EXPECT_EQ(got, proc.shadow) << "asid " << proc.asid;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, VmFuzz,
+    ::testing::Combine(::testing::Values(3u, 14u, 159u),
+                       ::testing::Values(ForkMode::CopyOnWrite,
+                                         ForkMode::OverlayOnWrite)));
+
+TEST(VmRefcount, ForkTreeConservesFrames)
+{
+    System sys((SystemConfig()));
+    Asid a = sys.createProcess();
+    sys.mapAnon(a, kBase, 4 * kPageSize);
+    std::uint64_t base_frames = sys.physMem().framesInUse();
+
+    Tick t = 0;
+    Asid b = sys.fork(a, ForkMode::CopyOnWrite, 0, &t);
+    Asid c = sys.fork(b, ForkMode::CopyOnWrite, t, &t);
+    // Sharing: no new frames yet.
+    EXPECT_EQ(sys.physMem().framesInUse(), base_frames);
+
+    // Each divergence adds exactly one frame.
+    t = sys.access(b, kBase, true, t);
+    EXPECT_EQ(sys.physMem().framesInUse(), base_frames + 1);
+    t = sys.access(c, kBase, true, t);
+    EXPECT_EQ(sys.physMem().framesInUse(), base_frames + 2);
+
+    // Tearing everything down returns to the baseline of process a.
+    sys.destroyProcess(c, t);
+    sys.destroyProcess(b, t);
+    EXPECT_EQ(sys.physMem().framesInUse(), base_frames);
+}
+
+} // namespace
+} // namespace ovl

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Properties of the post-fork write schedules: each WritePattern must
+ * produce exactly the temporal/spatial shape its benchmark type models
+ * (Streaming: a sequential sweep; Clustered: whole-page bursts in random
+ * page order; Windowed: same-page writes well separated in time).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.hh"
+#include "workload/forkbench.hh"
+
+namespace ovl
+{
+namespace
+{
+
+ForkBenchParams
+baseParams(WritePattern pattern)
+{
+    ForkBenchParams p;
+    p.footprintPages = 512;
+    p.dirtyPages = 64;
+    p.linesPerDirtyPage = 16;
+    p.pattern = pattern;
+    p.seed = 5;
+    return p;
+}
+
+TEST(WriteSchedule, CoversExactlyTheConfiguredWorkingSet)
+{
+    for (auto pattern : {WritePattern::Windowed, WritePattern::Streaming,
+                         WritePattern::Clustered}) {
+        ForkBenchParams p = baseParams(pattern);
+        Rng rng(p.seed);
+        std::vector<Addr> sched = buildWriteSchedule(p, rng);
+        EXPECT_EQ(sched.size(), p.dirtyPages * p.linesPerDirtyPage);
+
+        std::set<Addr> distinct_lines(sched.begin(), sched.end());
+        EXPECT_EQ(distinct_lines.size(), sched.size()); // no repeats
+        std::set<Addr> pages;
+        for (Addr a : sched)
+            pages.insert(pageNumber(a));
+        EXPECT_EQ(pages.size(), p.dirtyPages);
+    }
+}
+
+TEST(WriteSchedule, StreamingIsStrictlyAscendingAndContiguous)
+{
+    ForkBenchParams p = baseParams(WritePattern::Streaming);
+    p.linesPerDirtyPage = 64;
+    Rng rng(p.seed);
+    std::vector<Addr> sched = buildWriteSchedule(p, rng);
+    for (std::size_t i = 1; i < sched.size(); ++i)
+        ASSERT_LT(sched[i - 1], sched[i]);
+    // A contiguous page region (one grid sweep).
+    EXPECT_EQ(pageNumber(sched.back()) - pageNumber(sched.front()) + 1,
+              p.dirtyPages);
+}
+
+TEST(WriteSchedule, ClusteredWritesEachPageInOneBurst)
+{
+    ForkBenchParams p = baseParams(WritePattern::Clustered);
+    Rng rng(p.seed);
+    std::vector<Addr> sched = buildWriteSchedule(p, rng);
+    // Once the schedule leaves a page it never returns to it.
+    std::set<Addr> finished;
+    Addr current = kInvalidAddr;
+    for (Addr a : sched) {
+        Addr page = pageNumber(a);
+        if (page != current) {
+            ASSERT_EQ(finished.count(page), 0u)
+                << "page revisited after its burst";
+            if (current != kInvalidAddr)
+                finished.insert(current);
+            current = page;
+        }
+    }
+}
+
+TEST(WriteSchedule, WindowedSeparatesSamePageWrites)
+{
+    ForkBenchParams p = baseParams(WritePattern::Windowed);
+    Rng rng(p.seed);
+    std::vector<Addr> sched = buildWriteSchedule(p, rng);
+    // Consecutive same-page writes must be well separated in time
+    // (§5.1). The rotation window is 24 pages; at the drain tail the
+    // active set shrinks, so only assert full separation away from it.
+    std::size_t tail_start = sched.size() - 64;
+    std::map<Addr, std::size_t> last_index;
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+        Addr page = pageNumber(sched[i]);
+        auto it = last_index.find(page);
+        if (it != last_index.end()) {
+            ASSERT_GE(i - it->second, i < tail_start ? 16u : 2u)
+                << "at index " << i;
+        }
+        last_index[page] = i;
+    }
+}
+
+TEST(WriteSchedule, DeterministicPerSeed)
+{
+    ForkBenchParams p = baseParams(WritePattern::Windowed);
+    Rng a(p.seed), b(p.seed);
+    EXPECT_EQ(buildWriteSchedule(p, a), buildWriteSchedule(p, b));
+    Rng c(p.seed + 1);
+    EXPECT_NE(buildWriteSchedule(p, c), buildWriteSchedule(p, a));
+}
+
+TEST(WriteSchedule, SuitePatternsMatchTypes)
+{
+    for (const ForkBenchParams &p : forkBenchSuite()) {
+        switch (p.type) {
+          case 1:
+          case 3:
+            EXPECT_EQ(p.pattern, WritePattern::Windowed) << p.name;
+            break;
+          case 2:
+            if (p.name == "cactus")
+                EXPECT_EQ(p.pattern, WritePattern::Clustered);
+            else
+                EXPECT_EQ(p.pattern, WritePattern::Streaming) << p.name;
+            break;
+        }
+    }
+}
+
+} // namespace
+} // namespace ovl

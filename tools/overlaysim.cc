@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The overlaysim command-line driver. Subcommands:
+ *
+ *   overlaysim forkbench <name|all> [--mode cow|oow|both]
+ *                                   [--post-instr N] [--json FILE]
+ *       Run one (or all) of the 15 synthetic fork benchmarks.
+ *
+ *   overlaysim spmv --L X [--nnz N] [--rep overlay|csr|dense|all]
+ *       Build a synthetic sparse matrix with non-zero locality L and run
+ *       SpMV under the chosen representation(s).
+ *
+ *   overlaysim trace info <file>
+ *   overlaysim trace run <file> [--pages N] [--json FILE]
+ *       Inspect or replay a binary trace (see src/cpu/trace_io.hh).
+ *
+ *   overlaysim config
+ *       Print the Table 2 machine configuration.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "cpu/trace_io.hh"
+#include "sparse/csr.hh"
+#include "sparse/overlay_matrix.hh"
+#include "sparse/spmv.hh"
+#include "system/system.hh"
+#include "workload/forkbench.hh"
+#include "workload/matrixgen.hh"
+
+using namespace ovl;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: overlaysim <forkbench|spmv|trace|config> ...\n"
+                 "  forkbench <name|all> [--mode cow|oow|both]"
+                 " [--post-instr N] [--stats FILE] [--record FILE]\n"
+                 "  spmv --L X [--nnz N] [--rep overlay|csr|dense|all]\n"
+                 "  trace info <file>\n"
+                 "  trace run <file> [--pages N] [--json FILE]\n"
+                 "  config\n");
+    return 2;
+}
+
+/** Pull `--flag value` out of an argument list. */
+std::optional<std::string>
+flagValue(std::vector<std::string> &args, const std::string &flag)
+{
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) {
+            std::string value = args[i + 1];
+            args.erase(args.begin() + std::ptrdiff_t(i),
+                       args.begin() + std::ptrdiff_t(i) + 2);
+            return value;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+maybeDumpJson(System &sys, const std::optional<std::string> &path)
+{
+    if (!path)
+        return;
+    std::ofstream os(*path);
+    if (!os)
+        ovl_fatal("cannot open %s for writing", path->c_str());
+    sys.dumpAllStatsJson(os);
+    std::printf("stats written to %s\n", path->c_str());
+}
+
+int
+cmdForkbench(std::vector<std::string> args)
+{
+    std::optional<std::string> mode_str = flagValue(args, "--mode");
+    std::optional<std::string> post_str = flagValue(args, "--post-instr");
+    std::optional<std::string> stats_path = flagValue(args, "--stats");
+    std::optional<std::string> record_path = flagValue(args, "--record");
+    if (args.empty())
+        return usage();
+    std::ofstream stats_os;
+    if (stats_path) {
+        stats_os.open(*stats_path);
+        if (!stats_os)
+            ovl_fatal("cannot open %s for writing", stats_path->c_str());
+    }
+
+    std::vector<ForkBenchParams> selected;
+    if (args[0] == "all") {
+        selected = forkBenchSuite();
+    } else {
+        selected.push_back(forkBenchByName(args[0]));
+    }
+    bool run_cow = !mode_str || *mode_str == "cow" || *mode_str == "both";
+    bool run_oow = !mode_str || *mode_str == "oow" || *mode_str == "both";
+
+    std::printf("%-10s %-5s %10s %10s %12s\n", "benchmark", "mode", "CPI",
+                "extraMB", "forkCycles");
+    for (ForkBenchParams params : selected) {
+        if (post_str)
+            params.postForkInstructions =
+                std::strtoull(post_str->c_str(), nullptr, 10);
+        for (int pass = 0; pass < 2; ++pass) {
+            if ((pass == 0 && !run_cow) || (pass == 1 && !run_oow))
+                continue;
+            ForkMode mode = pass == 0 ? ForkMode::CopyOnWrite
+                                      : ForkMode::OverlayOnWrite;
+            std::vector<TraceOp> recorded;
+            ForkBenchResult res = runForkBench(
+                params, mode, SystemConfig{},
+                stats_path ? &stats_os : nullptr,
+                record_path ? &recorded : nullptr);
+            if (record_path) {
+                saveTraceFile(*record_path, recorded);
+                std::printf("recorded %zu trace records to %s\n",
+                            recorded.size(), record_path->c_str());
+            }
+            std::printf("%-10s %-5s %10.3f %10.2f %12llu\n",
+                        res.name.c_str(), pass == 0 ? "cow" : "oow",
+                        res.cpi, res.additionalMemoryMB,
+                        (unsigned long long)res.forkLatency);
+        }
+    }
+    if (stats_path)
+        std::printf("component stats appended to %s\n",
+                    stats_path->c_str());
+    return 0;
+}
+
+int
+cmdSpmv(std::vector<std::string> args)
+{
+    std::optional<std::string> l_str = flagValue(args, "--L");
+    std::optional<std::string> nnz_str = flagValue(args, "--nnz");
+    std::optional<std::string> rep = flagValue(args, "--rep");
+    if (!l_str)
+        return usage();
+
+    MatrixSpec spec;
+    spec.targetL = std::strtod(l_str->c_str(), nullptr);
+    if (spec.targetL >= 5.5) {
+        spec.family = MatrixFamily::BlockDense;
+        spec.blockRunLines = 128;
+    } else if (spec.targetL >= 3.0) {
+        spec.family = MatrixFamily::BlockDense;
+        spec.blockRunLines = 24;
+    }
+    if (nnz_str)
+        spec.nnz = std::strtoull(nnz_str->c_str(), nullptr, 10);
+    spec.name = "cli";
+    CooMatrix coo = generateMatrix(spec);
+    MatrixStats stats = analyzeMatrix(coo, kLineSize);
+    std::printf("matrix: %ux%u, nnz=%llu, realized L=%.2f\n", coo.rows,
+                coo.cols, (unsigned long long)coo.nnz(), stats.locality);
+
+    std::vector<double> x(coo.cols);
+    Rng rng(1);
+    for (double &v : x)
+        v = rng.uniform();
+    SpmvAddrs addrs;
+
+    auto want = [&](const char *name) {
+        return !rep || *rep == name || *rep == "all";
+    };
+    std::printf("%-8s %12s %14s %12s\n", "rep", "cycles", "instructions",
+                "bytes");
+    if (want("overlay")) {
+        System sys((SystemConfig()));
+        OooCore core("core", sys);
+        Asid asid = sys.createProcess();
+        installVectors(sys, asid, addrs, x, coo.rows);
+        OverlayMatrix m(sys, asid, addrs.aBase);
+        m.build(coo);
+        SpmvResult res = spmvOverlay(sys, core, m, addrs, x, 0);
+        std::printf("%-8s %12llu %14llu %12llu\n", "overlay",
+                    (unsigned long long)res.cycles,
+                    (unsigned long long)res.instructions,
+                    (unsigned long long)m.storedBytes());
+    }
+    if (want("csr")) {
+        System sys((SystemConfig()));
+        OooCore core("core", sys);
+        Asid asid = sys.createProcess();
+        installVectors(sys, asid, addrs, x, coo.rows);
+        CsrMatrix csr = CsrMatrix::fromCoo(coo);
+        installCsr(sys, asid, addrs, csr);
+        sys.quiesce();
+        SpmvResult res = spmvCsr(sys, core, asid, addrs, csr, x, 0);
+        std::printf("%-8s %12llu %14llu %12llu\n", "csr",
+                    (unsigned long long)res.cycles,
+                    (unsigned long long)res.instructions,
+                    (unsigned long long)csr.bytes());
+    }
+    if (want("dense")) {
+        System sys((SystemConfig()));
+        OooCore core("core", sys);
+        Asid asid = sys.createProcess();
+        installVectors(sys, asid, addrs, x, coo.rows);
+        installDense(sys, asid, addrs.aBase, coo);
+        sys.quiesce();
+        SpmvResult res =
+            spmvDense(sys, core, asid, addrs,
+                      DenseLayout(coo.rows, coo.cols), x, 0);
+        std::printf("%-8s %12llu %14llu %12llu\n", "dense",
+                    (unsigned long long)res.cycles,
+                    (unsigned long long)res.instructions,
+                    (unsigned long long)DenseLayout(coo.rows,
+                                                    coo.cols).bytes());
+    }
+    return 0;
+}
+
+int
+cmdTrace(std::vector<std::string> args)
+{
+    if (args.size() < 2)
+        return usage();
+    std::string verb = args[0];
+    std::string path = args[1];
+    args.erase(args.begin(), args.begin() + 2);
+
+    if (verb == "info") {
+        Trace trace = loadTraceFile(path);
+        TraceSummary s = summarizeTrace(trace);
+        std::printf("records       %llu\n",
+                    (unsigned long long)s.records);
+        std::printf("instructions  %llu\n",
+                    (unsigned long long)s.instructions);
+        std::printf("loads/stores  %llu / %llu (%llu dependent)\n",
+                    (unsigned long long)s.loads,
+                    (unsigned long long)s.stores,
+                    (unsigned long long)s.dependentOps);
+        std::printf("address range [%#llx, %#llx], %llu pages\n",
+                    (unsigned long long)s.minAddr,
+                    (unsigned long long)s.maxAddr,
+                    (unsigned long long)s.touchedPages);
+        return 0;
+    }
+    if (verb == "run") {
+        std::optional<std::string> json_path = flagValue(args, "--json");
+        Trace trace = loadTraceFile(path);
+        TraceSummary s = summarizeTrace(trace);
+        System sys((SystemConfig()));
+        OooCore core("core", sys);
+        Asid asid = sys.createProcess();
+        // Map the touched range (page-aligned, inclusive).
+        if (s.loads + s.stores > 0) {
+            Addr base = pageBase(s.minAddr);
+            std::uint64_t len =
+                pageBase(s.maxAddr) + kPageSize - base;
+            sys.mapAnon(asid, base, len);
+        }
+        Tick done = core.run(asid, trace, 0);
+        std::printf("ran %llu instructions in %llu cycles (CPI %.3f)\n",
+                    (unsigned long long)core.epochInstructions(),
+                    (unsigned long long)done, core.epochCpi());
+        maybeDumpJson(sys, json_path);
+        return 0;
+    }
+    return usage();
+}
+
+int
+cmdConfig()
+{
+    SystemConfig cfg;
+    std::printf("core        %.2f GHz, issue %u, window %u\n", cfg.coreGhz,
+                cfg.issueWidth, cfg.instructionWindow);
+    std::printf("tlb         L1 %u/%u-way (%llu cyc), L2 %u (%llu cyc),"
+                " walk %llu cyc\n",
+                cfg.tlb.l1.entries, cfg.tlb.l1.associativity,
+                (unsigned long long)cfg.tlb.l1.hitLatency,
+                cfg.tlb.l2.entries,
+                (unsigned long long)cfg.tlb.l2.hitLatency,
+                (unsigned long long)cfg.tlb.walkLatency);
+    std::printf("caches      L1 %lluKB L2 %lluKB L3 %lluKB\n",
+                (unsigned long long)(cfg.caches.l1.sizeBytes / 1024),
+                (unsigned long long)(cfg.caches.l2.sizeBytes / 1024),
+                (unsigned long long)(cfg.caches.l3.sizeBytes / 1024));
+    std::printf("overlay     OMT cache %u entries (miss %llu cyc),"
+                " ORE %llu cyc\n",
+                cfg.overlay.omtCache.entries,
+                (unsigned long long)cfg.overlay.omtCache.missLatency,
+                (unsigned long long)cfg.oreMessageCycles);
+    std::printf("os costs    trap %llu, shootdown %llu (+%llu/TLB)\n",
+                (unsigned long long)cfg.pageFaultTrapCycles,
+                (unsigned long long)cfg.tlbShootdownBaseCycles,
+                (unsigned long long)cfg.tlbShootdownPerTlbCycles);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "forkbench")
+        return cmdForkbench(std::move(args));
+    if (cmd == "spmv")
+        return cmdSpmv(std::move(args));
+    if (cmd == "trace")
+        return cmdTrace(std::move(args));
+    if (cmd == "config")
+        return cmdConfig();
+    return usage();
+}
