@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Host-throughput harness: times representative access mixes in *host*
+ * accesses-per-second (not simulated cycles). Every evaluation figure is
+ * reproduced by driving millions of 64 B accesses through System::access,
+ * so host-side throughput is the ceiling on workload size, sweep width
+ * and core count — the same wall that pushes Virtuoso to imitation-based
+ * modeling and gem5-class simulators to sampled slices.
+ *
+ * Output: BENCH_throughput.json (schema: workload -> {accesses, seconds,
+ * Maccess_per_s, simulated_ticks}). simulated_ticks is a determinism
+ * fingerprint: a host-side optimization must not move it by a single
+ * tick (scripts/bench_compare.py diffs two runs and flags regressions).
+ *
+ * Usage: host_throughput [-o out.json] [--scale N]
+ *   --scale multiplies every workload's access count (default 1).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "system/system.hh"
+
+using namespace ovl;
+
+namespace
+{
+
+struct Result
+{
+    std::string workload;
+    std::uint64_t accesses = 0;
+    double seconds = 0.0;
+    Tick simulatedTicks = 0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsed(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr Addr kBase = 0x100000;
+
+/**
+ * Sequential read sweep: 64 B strides over a 16 MiB anonymous buffer,
+ * wrapping. Every access opens a new line (L1/L2/L3 miss on the first
+ * lap, prefetch-assisted after), so this exercises the full
+ * TLB -> hierarchy -> DRAM path plus the functional page-table and
+ * physical-memory lookups of the data-carrying read().
+ */
+Result
+seqRead(std::uint64_t accesses)
+{
+    System sys;
+    Asid p = sys.createProcess();
+    constexpr std::uint64_t kBufBytes = 16ull << 20;
+    sys.mapAnon(p, kBase, kBufBytes);
+
+    std::uint64_t v = 0;
+    Tick t = 0;
+    auto start = Clock::now();
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        Addr va = kBase + (i * kLineSize) % kBufBytes;
+        std::uint64_t out;
+        t = sys.read(p, va, &out, sizeof(out), t);
+        v ^= out;
+    }
+    double secs = elapsed(start);
+    if (v != 0)
+        std::fprintf(stderr, "unexpected nonzero read\n");
+    return Result{"seq_read", accesses, secs, t};
+}
+
+/** Sequential write sweep over the same geometry. */
+Result
+seqWrite(std::uint64_t accesses)
+{
+    System sys;
+    Asid p = sys.createProcess();
+    constexpr std::uint64_t kBufBytes = 16ull << 20;
+    sys.mapAnon(p, kBase, kBufBytes);
+
+    Tick t = 0;
+    auto start = Clock::now();
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        Addr va = kBase + (i * kLineSize) % kBufBytes;
+        t = sys.write(p, va, &i, sizeof(i), t);
+    }
+    double secs = elapsed(start);
+    return Result{"seq_write", accesses, secs, t};
+}
+
+/** Fixed-seed random 2:1 read/write mix over a 64 MiB footprint. */
+Result
+randomMix(std::uint64_t accesses)
+{
+    System sys;
+    Asid p = sys.createProcess();
+    constexpr std::uint64_t kBufBytes = 64ull << 20;
+    sys.mapAnon(p, kBase, kBufBytes);
+
+    Rng rng(12345);
+    std::uint64_t v = 0;
+    Tick t = 0;
+    auto start = Clock::now();
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        Addr va = kBase + lineBase(rng.below(kBufBytes));
+        if (i % 3 == 2) {
+            t = sys.write(p, va, &i, sizeof(i), t);
+        } else {
+            std::uint64_t out;
+            t = sys.read(p, va, &out, sizeof(out), t);
+            v ^= out;
+        }
+    }
+    double secs = elapsed(start);
+    (void)v;
+    return Result{"random_mix", accesses, secs, t};
+}
+
+/**
+ * Sparse-SpMV-flavoured mix (§5.2): a zero-backed overlay region where
+ * ~1/16 of the lines diverge via overlaying writes, then repeated
+ * row-sweep reads that hit a blend of overlay lines and the shared zero
+ * frame. Exercises the OMT cache, OMS allocator and overlay read path.
+ */
+Result
+sparseSpmv(std::uint64_t accesses)
+{
+    System sys;
+    Asid p = sys.createProcess();
+    constexpr std::uint64_t kBufBytes = 8ull << 20;
+    sys.mapZeroOverlay(p, kBase, kBufBytes);
+
+    Rng rng(99);
+    Tick t = 0;
+    auto start = Clock::now();
+    // Populate: every 16th line diverges (an overlaying write each).
+    std::uint64_t populated = 0;
+    for (Addr off = 0; off < kBufBytes; off += 16 * kLineSize) {
+        double val = double(off);
+        t = sys.write(p, kBase + off, &val, sizeof(val), t);
+        ++populated;
+    }
+    // Sweep: read every line; 1/16 comes from the overlay space.
+    std::uint64_t reads = accesses > populated ? accesses - populated : 0;
+    std::uint64_t v = 0;
+    for (std::uint64_t i = 0; i < reads; ++i) {
+        Addr va = kBase + (i * kLineSize) % kBufBytes;
+        std::uint64_t out;
+        t = sys.read(p, va, &out, sizeof(out), t);
+        v ^= out;
+    }
+    double secs = elapsed(start);
+    (void)v;
+    return Result{"sparse_spmv", populated + reads, secs, t};
+}
+
+/**
+ * Fork/CoW churn: repeatedly fork a parent (overlay-on-write), have the
+ * child diverge one line per page, then tear the child down. Exercises
+ * fork's table copy, overlaying writes, unmap and frame recycling.
+ */
+Result
+forkCow(std::uint64_t accesses)
+{
+    System sys;
+    Asid parent = sys.createProcess();
+    constexpr std::uint64_t kPages = 512;
+    sys.mapAnon(parent, kBase, kPages * kPageSize);
+
+    Tick t = 0;
+    // Touch the whole footprint once.
+    for (std::uint64_t pg = 0; pg < kPages; ++pg) {
+        std::uint64_t val = pg;
+        t = sys.write(parent, kBase + pg * kPageSize, &val, sizeof(val), t);
+    }
+    std::uint64_t done = kPages;
+    auto start = Clock::now();
+    while (done < accesses) {
+        Asid child = sys.fork(parent, ForkMode::OverlayOnWrite, t, &t);
+        for (std::uint64_t pg = 0; pg < kPages && done < accesses;
+             ++pg, ++done) {
+            t = sys.access(child, kBase + pg * kPageSize, true, t);
+        }
+        sys.destroyProcess(child, t);
+    }
+    double secs = elapsed(start);
+    return Result{"fork_cow", done - kPages, secs, t};
+}
+
+void
+writeJson(const std::vector<Result> &results, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        double maps = double(r.accesses) / r.seconds / 1e6;
+        std::fprintf(f,
+                     "  \"%s\": {\"accesses\": %llu, \"seconds\": %.6f, "
+                     "\"Maccess_per_s\": %.3f, \"simulated_ticks\": %llu}%s\n",
+                     r.workload.c_str(),
+                     (unsigned long long)r.accesses, r.seconds, maps,
+                     (unsigned long long)r.simulatedTicks,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_throughput.json";
+    std::uint64_t scale = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            scale = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [-o out.json] [--scale N]\n", argv[0]);
+            return 1;
+        }
+    }
+
+    std::vector<Result> results;
+    results.push_back(seqRead(4'000'000 * scale));
+    results.push_back(seqWrite(4'000'000 * scale));
+    results.push_back(randomMix(2'000'000 * scale));
+    results.push_back(sparseSpmv(2'000'000 * scale));
+    results.push_back(forkCow(1'000'000 * scale));
+
+    std::printf("%-12s %12s %9s %14s %18s\n", "workload", "accesses",
+                "seconds", "Maccess/s", "simulated_ticks");
+    for (const Result &r : results) {
+        std::printf("%-12s %12llu %9.3f %14.3f %18llu\n",
+                    r.workload.c_str(), (unsigned long long)r.accesses,
+                    r.seconds, double(r.accesses) / r.seconds / 1e6,
+                    (unsigned long long)r.simulatedTicks);
+    }
+    writeJson(results, out);
+    std::printf("\nwrote %s\n", out.c_str());
+    return 0;
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_throughput.json files and flag regressions.
+
+Usage:
+    scripts/bench_compare.py baseline.json candidate.json [--threshold 5]
+
+Compares host throughput (Maccess_per_s) per workload and prints the
+delta. A workload whose throughput drops by more than the threshold
+(default 5%) is a regression; any change in simulated_ticks is a
+determinism break (the optimizations this harness guards must not move
+the timing model by a single tick). Exits non-zero on either.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=5.0,
+                    help="regression threshold in percent (default 5)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+
+    failed = False
+    print(f"{'workload':<14}{'base MA/s':>12}{'cand MA/s':>12}"
+          f"{'delta':>9}  notes")
+    for name in base:
+        if name not in cand:
+            print(f"{name:<14}{'':>12}{'missing':>12}")
+            failed = True
+            continue
+        b, c = base[name], cand[name]
+        bm, cm = b["Maccess_per_s"], c["Maccess_per_s"]
+        delta = (cm - bm) / bm * 100.0
+        notes = []
+        if delta < -args.threshold:
+            notes.append(f"REGRESSION (> {args.threshold:g}% slower)")
+            failed = True
+        if (b.get("simulated_ticks") is not None
+                and c.get("simulated_ticks") is not None
+                and b["accesses"] == c["accesses"]
+                and b["simulated_ticks"] != c["simulated_ticks"]):
+            notes.append("DETERMINISM BREAK (simulated_ticks moved)")
+            failed = True
+        print(f"{name:<14}{bm:>12.3f}{cm:>12.3f}{delta:>+8.1f}%  "
+              f"{'; '.join(notes)}")
+    for name in cand:
+        if name not in base:
+            print(f"{name:<14}{'(new)':>12}"
+                  f"{cand[name]['Maccess_per_s']:>12.3f}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -504,9 +504,19 @@ System::fork(Asid parent, ForkMode mode, Tick when, Tick *done)
     }
 
     // §4.1: overlays are not shared across virtual pages, so fork must
-    // copy the parent's overlay lines into the child's overlays.
+    // copy the parent's overlay lines into the child's overlays. The
+    // copy walks pages in ascending-VPN order: the order is part of the
+    // deterministic timing contract (it decides the cache/DRAM access
+    // sequence), so it must not depend on container iteration order.
     if (config_.overlaysEnabled) {
-        for (auto &[vpn, pte] : parent_proc.pageTable) {
+        std::vector<Addr> vpns;
+        vpns.reserve(parent_proc.pageTable.size());
+        for (auto &&[vpn, pte] : parent_proc.pageTable) {
+            (void)pte;
+            vpns.push_back(vpn);
+        }
+        std::sort(vpns.begin(), vpns.end());
+        for (Addr vpn : vpns) {
             Opn parent_opn = overlay_addr::pageFromVirtual(parent, vpn);
             BitVector64 obv = overlayMgr_.obitvector(parent_opn);
             if (obv.none())
@@ -578,11 +588,15 @@ void
 System::destroyProcess(Asid asid, Tick when)
 {
     // Collect first: unmap() mutates the page table while iterating.
+    // Teardown order is timing-visible (cache invalidations, frame
+    // recycling), so pin it to ascending VPN rather than container order.
     std::vector<Addr> vpns;
-    for (const auto &[vpn, pte] : vmm_.process(asid).pageTable) {
+    vpns.reserve(vmm_.process(asid).pageTable.size());
+    for (auto &&[vpn, pte] : vmm_.process(asid).pageTable) {
         (void)pte;
         vpns.push_back(vpn);
     }
+    std::sort(vpns.begin(), vpns.end());
     for (Addr vpn : vpns)
         unmap(asid, vpn << kPageShift, kPageSize, when);
     for (auto &tlb : tlbs_)

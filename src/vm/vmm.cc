@@ -101,7 +101,7 @@ Vmm::fork(Asid parent, ForkMode mode)
     Process &child_proc = process(child);
     ++forks_;
 
-    for (auto &[vpn, pte] : parent_proc.pageTable) {
+    for (auto &&[vpn, pte] : parent_proc.pageTable) {
         if (!pte.present)
             continue;
         if (pte.writable) {

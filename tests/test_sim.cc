@@ -150,6 +150,30 @@ TEST(EventQueue, EventsCanScheduleEvents)
     EXPECT_EQ(eq.now(), 4u);
 }
 
+// Callbacks scheduled from inside a callback for the *same* tick must
+// still run this tick, after everything already queued for it, in
+// insertion order. Pins the (when, seq) tie-break across queue rewrites.
+TEST(EventQueue, NestedSameTickCallbacksRunInDeterministicOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&](Tick now) {
+        order.push_back(0);
+        // Same-tick children: must run after events 1 and 2 below,
+        // which were enqueued first, and in their own insertion order.
+        eq.schedule(now, [&](Tick) { order.push_back(3); });
+        eq.schedule(now, [&](Tick now2) {
+            order.push_back(4);
+            eq.schedule(now2, [&](Tick) { order.push_back(5); });
+        });
+    });
+    eq.schedule(10, [&](Tick) { order.push_back(1); });
+    eq.schedule(10, [&](Tick) { order.push_back(2); });
+    eq.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
 TEST(EventQueue, NextEventTick)
 {
     EventQueue eq;

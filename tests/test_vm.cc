@@ -66,6 +66,30 @@ TEST(PhysicalMemory, FreedFramesAreRecycledWithZeroContents)
     EXPECT_EQ(got, 0);
 }
 
+// Regression: alloc -> dirty the whole page -> release -> alloc must
+// hand back a frame that reads as zero in every byte, even when the
+// allocator recycles backing storage instead of freeing it.
+TEST(PhysicalMemory, RecycledFramesAreFullyZeroed)
+{
+    PhysicalMemory mem("mem", 64_MiB);
+    std::vector<Addr> frames;
+    for (int i = 0; i < 4; ++i) {
+        Addr f = mem.allocFrame();
+        std::vector<std::uint8_t> junk(kPageSize, 0xCD);
+        mem.writeBytes(f << kPageShift, junk.data(), junk.size());
+        frames.push_back(f);
+    }
+    for (Addr f : frames)
+        mem.release(f);
+    for (int i = 0; i < 4; ++i) {
+        Addr f = mem.allocFrame();
+        std::vector<std::uint8_t> got(kPageSize, 0xFF);
+        mem.readBytes(f << kPageShift, got.data(), got.size());
+        for (unsigned off = 0; off < kPageSize; ++off)
+            ASSERT_EQ(got[off], 0) << "frame " << f << " byte " << off;
+    }
+}
+
 TEST(PhysicalMemory, ZeroFrameNeverDies)
 {
     PhysicalMemory mem("mem", 64_MiB);
