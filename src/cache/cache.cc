@@ -11,6 +11,7 @@ SetAssocCache::SetAssocCache(std::string name, CacheParams params)
       numSets_(unsigned(params.sizeBytes / kLineSize / params.associativity)),
       ways_(params.associativity),
       lines_(std::size_t(numSets_) * ways_),
+      replStates_(std::size_t(numSets_) * ways_),
       repl_(params.replPolicy, numSets_),
       hits_(&statGroup(), "hits", "demand hits"),
       misses_(&statGroup(), "misses", "demand misses"),
@@ -24,113 +25,6 @@ SetAssocCache::SetAssocCache(std::string name, CacheParams params)
     ovl_assert(params.sizeBytes % (kLineSize * params.associativity) == 0,
                "cache size must be a whole number of sets");
     ovl_assert(isPowerOf2(numSets_), "set count must be a power of two");
-}
-
-unsigned
-SetAssocCache::setIndex(Addr line_addr) const
-{
-    return unsigned((line_addr >> kLineShift) & (numSets_ - 1));
-}
-
-SetAssocCache::Line *
-SetAssocCache::findLine(Addr line_addr)
-{
-    Line *set = &lines_[std::size_t(setIndex(line_addr)) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].tag == line_addr)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-const SetAssocCache::Line *
-SetAssocCache::findLine(Addr line_addr) const
-{
-    return const_cast<SetAssocCache *>(this)->findLine(line_addr);
-}
-
-std::optional<Eviction>
-SetAssocCache::insert(Addr line_addr, bool dirty, bool is_prefetch)
-{
-    unsigned set_idx = setIndex(line_addr);
-    Line *set = &lines_[std::size_t(set_idx) * ways_];
-
-    // Prefer an invalid way.
-    Line *slot = nullptr;
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (!set[w].valid) {
-            slot = &set[w];
-            break;
-        }
-    }
-
-    std::optional<Eviction> evicted;
-    if (slot == nullptr) {
-        // All ways valid: consult the replacement policy.
-        ReplState repl_states[64];
-        ovl_assert(ways_ <= 64, "associativity beyond victim buffer");
-        for (unsigned w = 0; w < ways_; ++w)
-            repl_states[w] = set[w].repl;
-        unsigned victim = repl_.selectVictim(repl_states, ways_);
-        for (unsigned w = 0; w < ways_; ++w)
-            set[w].repl = repl_states[w]; // RRIP aging mutates in place
-        slot = &set[victim];
-        evicted = Eviction{slot->tag, slot->dirty};
-        if (slot->dirty)
-            ++writebacks_;
-    }
-
-    slot->tag = line_addr;
-    slot->valid = true;
-    slot->dirty = dirty;
-    slot->prefetched = is_prefetch;
-    repl_.onInsert(slot->repl, set_idx, is_prefetch);
-    if (is_prefetch)
-        ++prefetchFills_;
-    return evicted;
-}
-
-CacheAccessResult
-SetAssocCache::access(Addr line_addr, bool is_write)
-{
-    if (Line *line = findLine(line_addr)) {
-        ++hits_;
-        if (line->prefetched) {
-            ++prefetchHits_;
-            line->prefetched = false;
-        }
-        repl_.onHit(line->repl);
-        if (is_write)
-            line->dirty = true;
-        return CacheAccessResult{true, std::nullopt};
-    }
-    ++misses_;
-    repl_.onMiss(setIndex(line_addr));
-    auto eviction = insert(line_addr, is_write, false);
-    return CacheAccessResult{false, eviction};
-}
-
-std::optional<Eviction>
-SetAssocCache::fill(Addr line_addr, bool dirty, bool is_prefetch)
-{
-    if (Line *line = findLine(line_addr)) {
-        line->dirty = line->dirty || dirty;
-        return std::nullopt;
-    }
-    return insert(line_addr, dirty, is_prefetch);
-}
-
-bool
-SetAssocCache::isPresent(Addr line_addr) const
-{
-    return findLine(line_addr) != nullptr;
-}
-
-bool
-SetAssocCache::isPrefetched(Addr line_addr) const
-{
-    const Line *line = findLine(line_addr);
-    return line != nullptr && line->prefetched;
 }
 
 std::optional<Eviction>

@@ -71,6 +71,11 @@ class SetAssocCache : public SimObject
     const CacheParams &params() const { return params_; }
     unsigned numSets() const { return numSets_; }
 
+    // access/fill/isPresent run on every simulated memory reference
+    // (including once per level and per prefetch candidate); they are
+    // defined inline at the bottom of this header so the hierarchy's
+    // miss cascade compiles into straight-line code.
+
     /**
      * Demand access: looks up @p line_addr, allocates on miss, and marks
      * the line dirty when @p is_write. The returned eviction (if any)
@@ -136,20 +141,30 @@ class SetAssocCache : public SimObject
         bool valid = false;
         bool dirty = false;
         bool prefetched = false;
-        ReplState repl;
     };
 
     unsigned setIndex(Addr line_addr) const;
     Line *findLine(Addr line_addr);
     const Line *findLine(Addr line_addr) const;
-    /** Insert into the set of @p line_addr; returns displaced victim. */
-    std::optional<Eviction> insert(Addr line_addr, bool dirty,
-                                   bool is_prefetch);
+    /**
+     * Insert into set @p set_idx, reusing @p slot if the caller already
+     * found an invalid way (nullptr = all ways valid, pick a victim).
+     */
+    std::optional<Eviction> insertAt(unsigned set_idx, Line *slot,
+                                     Addr line_addr, bool dirty,
+                                     bool is_prefetch);
 
     CacheParams params_;
     unsigned numSets_;
     unsigned ways_;
     std::vector<Line> lines_; ///< numSets_ x ways_, row-major by set
+    /**
+     * Replacement metadata, parallel to lines_. Kept in its own dense
+     * array so selectVictim can age a whole set in place — the previous
+     * layout embedded ReplState in Line and had to copy all ways out and
+     * back on every victim choice.
+     */
+    std::vector<ReplState> replStates_;
     ReplacementEngine repl_;
 
     stats::Counter hits_;
@@ -159,6 +174,127 @@ class SetAssocCache : public SimObject
     stats::Counter prefetchHits_;
     stats::Counter retags_;
 };
+
+// ------------------------ inline hot path ------------------------------
+
+inline unsigned
+SetAssocCache::setIndex(Addr line_addr) const
+{
+    return unsigned((line_addr >> kLineShift) & (numSets_ - 1));
+}
+
+inline SetAssocCache::Line *
+SetAssocCache::findLine(Addr line_addr)
+{
+    Line *set = &lines_[std::size_t(setIndex(line_addr)) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == line_addr)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+inline const SetAssocCache::Line *
+SetAssocCache::findLine(Addr line_addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(line_addr);
+}
+
+inline std::optional<Eviction>
+SetAssocCache::insertAt(unsigned set_idx, Line *slot, Addr line_addr,
+                        bool dirty, bool is_prefetch)
+{
+    std::size_t base = std::size_t(set_idx) * ways_;
+    std::optional<Eviction> evicted;
+    if (slot == nullptr) {
+        // All ways valid: consult the replacement policy. RRIP aging
+        // mutates the set's states in place.
+        unsigned victim = repl_.selectVictim(&replStates_[base], ways_);
+        slot = &lines_[base + victim];
+        evicted = Eviction{slot->tag, slot->dirty};
+        if (slot->dirty)
+            ++writebacks_;
+    }
+
+    slot->tag = line_addr;
+    slot->valid = true;
+    slot->dirty = dirty;
+    slot->prefetched = is_prefetch;
+    repl_.onInsert(replStates_[base + unsigned(slot - &lines_[base])],
+                   set_idx, is_prefetch);
+    if (is_prefetch)
+        ++prefetchFills_;
+    return evicted;
+}
+
+inline CacheAccessResult
+SetAssocCache::access(Addr line_addr, bool is_write)
+{
+    // Single pass over the set: find the hit way and the first invalid
+    // way together, so a miss does not rescan tags in insert().
+    unsigned set_idx = setIndex(line_addr);
+    std::size_t base = std::size_t(set_idx) * ways_;
+    Line *set = &lines_[base];
+    Line *invalid_slot = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = set[w];
+        if (line.valid) {
+            if (line.tag == line_addr) {
+                ++hits_;
+                if (line.prefetched) {
+                    ++prefetchHits_;
+                    line.prefetched = false;
+                }
+                repl_.onHit(replStates_[base + w]);
+                if (is_write)
+                    line.dirty = true;
+                return CacheAccessResult{true, std::nullopt};
+            }
+        } else if (invalid_slot == nullptr) {
+            invalid_slot = &line;
+        }
+    }
+    ++misses_;
+    repl_.onMiss(set_idx);
+    auto eviction = insertAt(set_idx, invalid_slot, line_addr, is_write,
+                             false);
+    return CacheAccessResult{false, eviction};
+}
+
+inline std::optional<Eviction>
+SetAssocCache::fill(Addr line_addr, bool dirty, bool is_prefetch)
+{
+    // Same single-pass structure as access(): hit way and first invalid
+    // way in one scan.
+    unsigned set_idx = setIndex(line_addr);
+    Line *set = &lines_[std::size_t(set_idx) * ways_];
+    Line *invalid_slot = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = set[w];
+        if (line.valid) {
+            if (line.tag == line_addr) {
+                line.dirty = line.dirty || dirty;
+                return std::nullopt;
+            }
+        } else if (invalid_slot == nullptr) {
+            invalid_slot = &line;
+        }
+    }
+    return insertAt(set_idx, invalid_slot, line_addr, dirty, is_prefetch);
+}
+
+inline bool
+SetAssocCache::isPresent(Addr line_addr) const
+{
+    return findLine(line_addr) != nullptr;
+}
+
+inline bool
+SetAssocCache::isPrefetched(Addr line_addr) const
+{
+    const Line *line = findLine(line_addr);
+    return line != nullptr && line->prefetched;
+}
 
 } // namespace ovl
 

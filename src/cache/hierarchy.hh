@@ -11,12 +11,14 @@
 #ifndef OVERLAYSIM_CACHE_HIERARCHY_HH
 #define OVERLAYSIM_CACHE_HIERARCHY_HH
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "cache/prefetcher.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
 
@@ -73,7 +75,9 @@ class CacheHierarchy : public SimObject
     /**
      * One demand access to a line address (regular-physical or overlay
      * space). Returns the completion time; @p hit_level (optional)
-     * reports which level serviced it.
+     * reports which level serviced it. Defined inline (below) together
+     * with the victim/prefetch helpers so the whole miss cascade
+     * compiles into one frame.
      */
     Tick access(Addr line_addr, bool is_write, Tick when,
                 HitLevel *hit_level = nullptr);
@@ -140,6 +144,116 @@ class CacheHierarchy : public SimObject
     stats::Counter hitsL2_;
     stats::Counter hitsL3_;
 };
+
+// ------------------------ inline hot path ------------------------------
+
+inline void
+CacheHierarchy::handleL3Victim(const Eviction &ev, Tick when)
+{
+    if (ev.dirty) {
+        ++memWritebacks_;
+        backend_.writebackLine(ev.lineAddr, when);
+    }
+}
+
+inline void
+CacheHierarchy::handleL2Victim(const Eviction &ev, Tick when)
+{
+    if (!ev.dirty)
+        return; // non-inclusive: clean victims are dropped silently
+    if (auto l3_victim = l3_.fill(ev.lineAddr, true))
+        handleL3Victim(*l3_victim, when);
+}
+
+inline void
+CacheHierarchy::handleL1Victim(const Eviction &ev, Tick when)
+{
+    if (!ev.dirty)
+        return;
+    if (auto l2_victim = l2_.fill(ev.lineAddr, true))
+        handleL2Victim(*l2_victim, when);
+}
+
+inline bool
+CacheHierarchy::tryPrefetchFill(Addr line_addr, Tick when)
+{
+    if (l1_.isPresent(line_addr) || l2_.isPresent(line_addr) ||
+        l3_.isPresent(line_addr)) {
+        return true;
+    }
+    // Best-effort bandwidth: prefetches are serviced behind demand
+    // traffic at a fixed streaming rate and dropped when the engine
+    // falls too far behind (demand-first FR-FCFS scheduling).
+    Tick start = std::max(when, prefetchBusyUntil_);
+    if (start - when > prefetcher_.params().maxLagCycles) {
+        ++prefetchDrops_;
+        return false;
+    }
+    prefetchBusyUntil_ = start + prefetcher_.params().serviceCycles;
+    ++prefetchReads_;
+    if (auto victim = l3_.fill(line_addr, false, true))
+        handleL3Victim(*victim, when);
+    return true;
+}
+
+inline void
+CacheHierarchy::issuePrefetches(Addr trigger_line, Tick when)
+{
+    prefetchScratch_.clear();
+    prefetcher_.notifyMiss(trigger_line, prefetchScratch_);
+    for (Addr pf_addr : prefetchScratch_)
+        tryPrefetchFill(pf_addr, when);
+}
+
+inline Tick
+CacheHierarchy::access(Addr line_addr, bool is_write, Tick when,
+                       HitLevel *hit_level)
+{
+    ovl_assert((line_addr & kLineMask) == 0, "unaligned line address");
+    ++accesses_;
+
+    Tick t = when;
+    CacheAccessResult l1_res = l1_.access(line_addr, is_write);
+    if (l1_res.eviction)
+        handleL1Victim(*l1_res.eviction, when);
+    if (l1_res.hit) {
+        ++hitsL1_;
+        if (hit_level)
+            *hit_level = HitLevel::L1;
+        return t + params_.l1.hitLatency();
+    }
+    t += params_.l1.missDetectLatency();
+
+    CacheAccessResult l2_res = l2_.access(line_addr, false);
+    if (l2_res.eviction)
+        handleL2Victim(*l2_res.eviction, when);
+    if (l2_res.hit) {
+        ++hitsL2_;
+        if (hit_level)
+            *hit_level = HitLevel::L2;
+        return t + params_.l2.hitLatency();
+    }
+    t += params_.l2.missDetectLatency();
+
+    // Train the prefetcher on L2 demand misses (Table 2).
+    issuePrefetches(line_addr, t);
+
+    CacheAccessResult l3_res = l3_.access(line_addr, false);
+    if (l3_res.eviction)
+        handleL3Victim(*l3_res.eviction, when);
+    if (l3_res.hit) {
+        ++hitsL3_;
+        if (hit_level)
+            *hit_level = HitLevel::L3;
+        return t + params_.l3.hitLatency();
+    }
+    t += params_.l3.missDetectLatency();
+
+    ++memReads_;
+    if (hit_level)
+        *hit_level = HitLevel::Memory;
+    return backend_.readLine(line_addr, t);
+}
 
 } // namespace ovl
 

@@ -1,7 +1,5 @@
 #include "prefetcher.hh"
 
-#include <cstdlib>
-
 #include "common/logging.hh"
 
 namespace ovl
@@ -18,20 +16,6 @@ StreamPrefetcher::StreamPrefetcher(std::string name, PrefetcherParams params)
 }
 
 StreamPrefetcher::Stream *
-StreamPrefetcher::findStream(Addr line_index)
-{
-    for (Stream &s : streams_) {
-        if (!s.valid)
-            continue;
-        std::int64_t delta = std::int64_t(line_index) -
-                             std::int64_t(s.lastLine);
-        if (std::llabs(delta) <= std::int64_t(params_.trainWindow))
-            return &s;
-    }
-    return nullptr;
-}
-
-StreamPrefetcher::Stream *
 StreamPrefetcher::allocateStream()
 {
     Stream *victim = &streams_[0];
@@ -42,69 +26,6 @@ StreamPrefetcher::allocateStream()
             victim = &s;
     }
     return victim;
-}
-
-void
-StreamPrefetcher::notifyMiss(Addr line_addr, std::vector<Addr> &out)
-{
-    if (!params_.enabled)
-        return;
-
-    Addr line_index = line_addr >> kLineShift;
-    Stream *stream = findStream(line_index);
-
-    if (stream == nullptr) {
-        stream = allocateStream();
-        ++allocations_;
-        stream->valid = true;
-        stream->confirmed = false;
-        stream->direction = 1;
-        stream->strikes = 0;
-        stream->lastLine = line_index;
-        stream->prefetchHead = line_index + 1;
-        stream->lruSeq = ++lruCounter_;
-        return; // first touch only allocates; no prefetch yet
-    }
-
-    stream->lruSeq = ++lruCounter_;
-    std::int64_t delta = std::int64_t(line_index) -
-                         std::int64_t(stream->lastLine);
-    if (delta == 0)
-        return;
-
-    if (!stream->confirmed) {
-        // Second nearby miss establishes the direction [48].
-        stream->confirmed = true;
-        stream->direction = delta > 0 ? 1 : -1;
-        stream->prefetchHead = line_index + stream->direction;
-    } else if ((delta > 0) != (stream->direction > 0)) {
-        // Training against the established direction: after two strikes
-        // the stream re-confirms, so an unluckily-established direction
-        // cannot park a zombie stream in the table forever.
-        if (++stream->strikes >= 2) {
-            stream->direction = delta > 0 ? 1 : -1;
-            stream->prefetchHead = line_index + stream->direction;
-            stream->strikes = 0;
-        }
-    } else {
-        stream->strikes = 0;
-    }
-    ++trainings_;
-    stream->lastLine = line_index;
-
-    // Keep the prefetch head within `distance` lines of the demand stream
-    // and emit up to `degree` prefetches per training.
-    Addr limit = line_index + std::int64_t(params_.distance) *
-                 stream->direction;
-    for (unsigned i = 0; i < params_.degree; ++i) {
-        bool within = stream->direction > 0 ? stream->prefetchHead <= limit
-                                            : stream->prefetchHead >= limit;
-        if (!within)
-            break;
-        out.push_back(stream->prefetchHead << kLineShift);
-        ++issued_;
-        stream->prefetchHead += stream->direction;
-    }
 }
 
 } // namespace ovl

@@ -26,132 +26,4 @@ ReplacementEngine::ReplacementEngine(ReplPolicy policy, unsigned num_sets,
     ovl_assert(num_sets > 0, "cache must have at least one set");
 }
 
-void
-ReplacementEngine::onHit(ReplState &line)
-{
-    switch (policy_) {
-      case ReplPolicy::LRU:
-        line.lruSeq = ++lruCounter_;
-        break;
-      case ReplPolicy::Random:
-        break;
-      case ReplPolicy::SRRIP:
-      case ReplPolicy::BRRIP:
-      case ReplPolicy::DRRIP:
-        // Hit promotion: predict near-immediate re-reference [27].
-        line.rrpv = 0;
-        break;
-    }
-}
-
-bool
-ReplacementEngine::isSrripLeader(unsigned set_index) const
-{
-    // Simple static leader selection: sets 0, 32, 64, ... lead SRRIP.
-    return (set_index % kLeaderSetStride) == 0;
-}
-
-bool
-ReplacementEngine::isBrripLeader(unsigned set_index) const
-{
-    // Sets 16, 48, 80, ... lead BRRIP.
-    return (set_index % kLeaderSetStride) == kLeaderSetStride / 2;
-}
-
-void
-ReplacementEngine::insertRrip(ReplState &line, bool long_rereference)
-{
-    if (long_rereference) {
-        // BRRIP: distant prediction (RRPV=3) except 1-in-32 inserts.
-        if (++brripThrottle_ >= kBrripEpsilonInverse) {
-            brripThrottle_ = 0;
-            line.rrpv = kMaxRrpv - 1;
-        } else {
-            line.rrpv = kMaxRrpv;
-        }
-    } else {
-        // SRRIP: long (but not distant) prediction.
-        line.rrpv = kMaxRrpv - 1;
-    }
-}
-
-void
-ReplacementEngine::onInsert(ReplState &line, unsigned set_index,
-                            bool is_prefetch)
-{
-    switch (policy_) {
-      case ReplPolicy::LRU:
-        line.lruSeq = ++lruCounter_;
-        break;
-      case ReplPolicy::Random:
-        break;
-      case ReplPolicy::SRRIP:
-        insertRrip(line, false);
-        break;
-      case ReplPolicy::BRRIP:
-        insertRrip(line, true);
-        break;
-      case ReplPolicy::DRRIP:
-        if (is_prefetch) {
-            // Prefetches always insert with a distant prediction so that
-            // useless prefetches are evicted first.
-            line.rrpv = kMaxRrpv;
-        } else if (isSrripLeader(set_index)) {
-            insertRrip(line, false);
-        } else if (isBrripLeader(set_index)) {
-            insertRrip(line, true);
-        } else {
-            insertRrip(line, brripWinning());
-        }
-        break;
-    }
-}
-
-void
-ReplacementEngine::onMiss(unsigned set_index)
-{
-    if (policy_ != ReplPolicy::DRRIP)
-        return;
-    // A miss in a leader set is a vote against that leader's policy [27].
-    if (isSrripLeader(set_index)) {
-        if (psel_ < pselMax_)
-            ++psel_;
-    } else if (isBrripLeader(set_index)) {
-        if (psel_ > 0)
-            --psel_;
-    }
-}
-
-unsigned
-ReplacementEngine::selectVictim(ReplState *lines, unsigned ways)
-{
-    ovl_assert(ways > 0, "victim selection over an empty set");
-    switch (policy_) {
-      case ReplPolicy::LRU: {
-        unsigned victim = 0;
-        for (unsigned w = 1; w < ways; ++w) {
-            if (lines[w].lruSeq < lines[victim].lruSeq)
-                victim = w;
-        }
-        return victim;
-      }
-      case ReplPolicy::Random:
-        return unsigned(rng_.below(ways));
-      case ReplPolicy::SRRIP:
-      case ReplPolicy::BRRIP:
-      case ReplPolicy::DRRIP: {
-        // Age until some line reaches the distant RRPV.
-        for (;;) {
-            for (unsigned w = 0; w < ways; ++w) {
-                if (lines[w].rrpv >= kMaxRrpv)
-                    return w;
-            }
-            for (unsigned w = 0; w < ways; ++w)
-                ++lines[w].rrpv;
-        }
-      }
-    }
-    return 0;
-}
-
 } // namespace ovl

@@ -52,15 +52,64 @@ class ReplacementEngine
 
     ReplPolicy policy() const { return policy_; }
 
+    // The per-access hooks are defined inline so the cache's hot path
+    // (access/fill/victim-choice on every simulated memory reference)
+    // compiles into straight-line code instead of cross-TU calls.
+
     /** Called when a line is hit. */
-    void onHit(ReplState &line);
+    void
+    onHit(ReplState &line)
+    {
+        switch (policy_) {
+          case ReplPolicy::LRU:
+            line.lruSeq = ++lruCounter_;
+            break;
+          case ReplPolicy::Random:
+            break;
+          case ReplPolicy::SRRIP:
+          case ReplPolicy::BRRIP:
+          case ReplPolicy::DRRIP:
+            // Hit promotion: predict near-immediate re-reference [27].
+            line.rrpv = 0;
+            break;
+        }
+    }
 
     /**
      * Called when a line is inserted. @p set_index selects DRRIP leader
      * sets; @p is_prefetch inserts prefetched lines with distant RRPV so
      * inaccurate prefetches do not pollute the LLC.
      */
-    void onInsert(ReplState &line, unsigned set_index, bool is_prefetch);
+    void
+    onInsert(ReplState &line, unsigned set_index, bool is_prefetch)
+    {
+        switch (policy_) {
+          case ReplPolicy::LRU:
+            line.lruSeq = ++lruCounter_;
+            break;
+          case ReplPolicy::Random:
+            break;
+          case ReplPolicy::SRRIP:
+            insertRrip(line, false);
+            break;
+          case ReplPolicy::BRRIP:
+            insertRrip(line, true);
+            break;
+          case ReplPolicy::DRRIP:
+            if (is_prefetch) {
+                // Prefetches always insert with a distant prediction so
+                // that useless prefetches are evicted first.
+                line.rrpv = kMaxRrpv;
+            } else if (isSrripLeader(set_index)) {
+                insertRrip(line, false);
+            } else if (isBrripLeader(set_index)) {
+                insertRrip(line, true);
+            } else {
+                insertRrip(line, brripWinning());
+            }
+            break;
+        }
+    }
 
     /**
      * Choose a victim among @p ways lines of a set; invalid lines must be
@@ -69,17 +118,70 @@ class ReplacementEngine
      *
      * @return the way index of the victim.
      */
-    unsigned selectVictim(ReplState *lines, unsigned ways);
+    unsigned
+    selectVictim(ReplState *lines, unsigned ways)
+    {
+        switch (policy_) {
+          case ReplPolicy::LRU: {
+            unsigned victim = 0;
+            for (unsigned w = 1; w < ways; ++w) {
+                if (lines[w].lruSeq < lines[victim].lruSeq)
+                    victim = w;
+            }
+            return victim;
+          }
+          case ReplPolicy::Random:
+            return unsigned(rng_.below(ways));
+          case ReplPolicy::SRRIP:
+          case ReplPolicy::BRRIP:
+          case ReplPolicy::DRRIP: {
+            // Age until some line reaches the distant RRPV.
+            for (;;) {
+                for (unsigned w = 0; w < ways; ++w) {
+                    if (lines[w].rrpv >= kMaxRrpv)
+                        return w;
+                }
+                for (unsigned w = 0; w < ways; ++w)
+                    ++lines[w].rrpv;
+            }
+          }
+        }
+        return 0;
+    }
 
     /**
      * DRRIP feedback: called on a miss in a leader set [27]; adjusts the
      * policy-selection counter.
      */
-    void onMiss(unsigned set_index);
+    void
+    onMiss(unsigned set_index)
+    {
+        if (policy_ != ReplPolicy::DRRIP)
+            return;
+        // A miss in a leader set is a vote against that leader's policy.
+        if (isSrripLeader(set_index)) {
+            if (psel_ < pselMax_)
+                ++psel_;
+        } else if (isBrripLeader(set_index)) {
+            if (psel_ > 0)
+                --psel_;
+        }
+    }
 
     /** True if @p set_index is an SRRIP (resp. BRRIP) leader set. */
-    bool isSrripLeader(unsigned set_index) const;
-    bool isBrripLeader(unsigned set_index) const;
+    bool
+    isSrripLeader(unsigned set_index) const
+    {
+        // Simple static leader selection: sets 0, 32, 64, ... lead SRRIP.
+        return (set_index % kLeaderSetStride) == 0;
+    }
+
+    bool
+    isBrripLeader(unsigned set_index) const
+    {
+        // Sets 16, 48, 80, ... lead BRRIP.
+        return (set_index % kLeaderSetStride) == kLeaderSetStride / 2;
+    }
 
     /** Current dynamic winner for DRRIP follower sets. */
     bool brripWinning() const { return psel_ > pselMax_ / 2; }
@@ -89,7 +191,22 @@ class ReplacementEngine
     static constexpr unsigned kLeaderSetStride = 32;
     static constexpr unsigned kBrripEpsilonInverse = 32; // 1/32 near inserts
 
-    void insertRrip(ReplState &line, bool long_rereference);
+    void
+    insertRrip(ReplState &line, bool long_rereference)
+    {
+        if (long_rereference) {
+            // BRRIP: distant prediction (RRPV=3) except 1-in-32 inserts.
+            if (++brripThrottle_ >= kBrripEpsilonInverse) {
+                brripThrottle_ = 0;
+                line.rrpv = kMaxRrpv - 1;
+            } else {
+                line.rrpv = kMaxRrpv;
+            }
+        } else {
+            // SRRIP: long (but not distant) prediction.
+            line.rrpv = kMaxRrpv - 1;
+        }
+    }
 
     ReplPolicy policy_;
     unsigned numSets_;

@@ -13,30 +13,47 @@ Omt::Omt(std::string name, std::function<Addr()> node_page_alloc)
       nodeBytes_(&statGroup(), "nodeBytes", "bytes of OMT radix nodes")
 {
     ovl_assert(nodePageAlloc_ != nullptr, "OMT needs a node allocator");
+    // Typical workloads keep hundreds to thousands of overlays live;
+    // reserving up front keeps the hot find() path rehash-free.
+    table_.reserve(1024);
+    nodes_.reserve(256);
 }
 
 OmtEntry *
 Omt::find(Opn opn)
 {
+    // The controller resolves the same OPN several times per operation
+    // (omtAccess, then the read/writeback body); a one-entry MRU cache
+    // turns the repeats into a compare. Map nodes are stable across
+    // rehash, so inserts don't invalidate the cached pointer.
+    if (opn == cachedOpn_)
+        return cachedEntry_;
     auto it = table_.find(opn);
-    return it == table_.end() ? nullptr : &it->second;
+    if (it == table_.end())
+        return nullptr;
+    cachedOpn_ = opn;
+    cachedEntry_ = &it->second;
+    return cachedEntry_;
 }
 
 const OmtEntry *
 Omt::find(Opn opn) const
 {
-    auto it = table_.find(opn);
-    return it == table_.end() ? nullptr : &it->second;
+    return const_cast<Omt *>(this)->find(opn);
 }
 
 OmtEntry &
 Omt::findOrCreate(Opn opn)
 {
+    if (opn == cachedOpn_)
+        return *cachedEntry_;
     auto [it, inserted] = table_.try_emplace(opn);
     if (inserted) {
         ++entriesCreated_;
         ensureNodePath(opn);
     }
+    cachedOpn_ = opn;
+    cachedEntry_ = &it->second;
     return it->second;
 }
 
@@ -45,6 +62,10 @@ Omt::erase(Opn opn)
 {
     if (table_.erase(opn) > 0)
         ++entriesErased_;
+    if (opn == cachedOpn_) {
+        cachedOpn_ = kInvalidAddr;
+        cachedEntry_ = nullptr;
+    }
 }
 
 Addr

@@ -90,6 +90,9 @@ class Omt : public SimObject
     std::unordered_map<Opn, OmtEntry> table_;
     /** (level, index-prefix) -> node base address. */
     std::unordered_map<std::uint64_t, Addr> nodes_;
+    /** One-entry MRU cache over table_ (see find()). */
+    mutable Opn cachedOpn_ = kInvalidAddr;
+    mutable OmtEntry *cachedEntry_ = nullptr;
 
     stats::Counter entriesCreated_;
     stats::Counter entriesErased_;

@@ -34,6 +34,39 @@ OverlayManager::OverlayManager(std::string name, OverlayManagerParams params,
 
 // --------------------------- functional side ---------------------------
 
+OverlayManager::OverlayPageData *
+OverlayManager::findPageData(Opn opn) const
+{
+    if (opn == cachedOpn_)
+        return cachedPage_;
+    auto it = data_.find(opn);
+    if (it == data_.end())
+        return nullptr;
+    cachedOpn_ = opn;
+    cachedPage_ = it->second.get();
+    return cachedPage_;
+}
+
+OverlayManager::OverlayPageData &
+OverlayManager::ensurePageData(Opn opn)
+{
+    if (opn == cachedOpn_)
+        return *cachedPage_;
+    auto [it, inserted] = data_.try_emplace(opn);
+    if (inserted) {
+        if (!pagePool_.empty()) {
+            it->second = std::move(pagePool_.back());
+            pagePool_.pop_back();
+            it->second->present = BitVector64();
+        } else {
+            it->second = std::make_unique<OverlayPageData>();
+        }
+    }
+    cachedOpn_ = opn;
+    cachedPage_ = it->second.get();
+    return *cachedPage_;
+}
+
 bool
 OverlayManager::hasOverlay(Opn opn) const
 {
@@ -55,28 +88,27 @@ OverlayManager::writeLineData(Opn opn, unsigned line_in_page,
     ovl_assert(line_in_page < kLinesPerPage, "line index out of page");
     OmtEntry &entry = omt_.findOrCreate(opn);
     entry.obv.set(line_in_page);
-    data_[opn][line_in_page] = data;
+    OverlayPageData &page = ensurePageData(opn);
+    page.present.set(line_in_page);
+    page.lines[line_in_page] = data;
 }
 
 void
 OverlayManager::readLineData(Opn opn, unsigned line_in_page,
                              LineData &out) const
 {
-    auto page_it = data_.find(opn);
-    ovl_assert(page_it != data_.end(), "reading a line of a missing overlay");
-    auto line_it = page_it->second.find(line_in_page);
-    ovl_assert(line_it != page_it->second.end(),
+    const OverlayPageData *page = findPageData(opn);
+    ovl_assert(page != nullptr, "reading a line of a missing overlay");
+    ovl_assert(page->present.test(line_in_page),
                "reading an unmapped overlay line");
-    out = line_it->second;
+    out = page->lines[line_in_page];
 }
 
 bool
 OverlayManager::hasLineData(Opn opn, unsigned line_in_page) const
 {
-    auto page_it = data_.find(opn);
-    if (page_it == data_.end())
-        return false;
-    return page_it->second.find(line_in_page) != page_it->second.end();
+    const OverlayPageData *page = findPageData(opn);
+    return page != nullptr && page->present.test(line_in_page);
 }
 
 void
@@ -93,9 +125,8 @@ OverlayManager::clearLine(Opn opn, unsigned line_in_page)
             entry->seg.meta.slotOf[line_in_page] = kInvalidSlot;
         }
     }
-    auto page_it = data_.find(opn);
-    if (page_it != data_.end())
-        page_it->second.erase(line_in_page);
+    if (OverlayPageData *page = findPageData(opn))
+        page->present.clear(line_in_page);
 }
 
 void
@@ -107,7 +138,15 @@ OverlayManager::discardOverlay(Opn opn)
     releaseSegment(*entry);
     omt_.erase(opn);
     omtCache_.invalidate(opn);
-    data_.erase(opn);
+    auto it = data_.find(opn);
+    if (it != data_.end()) {
+        pagePool_.push_back(std::move(it->second));
+        data_.erase(it);
+    }
+    if (opn == cachedOpn_) {
+        cachedOpn_ = kInvalidAddr;
+        cachedPage_ = nullptr;
+    }
 }
 
 // ----------------------------- timing side -----------------------------
@@ -305,7 +344,8 @@ OverlayManager::segmentCount(SegClass cls) const
     std::uint64_t count = 0;
     // Linear scan over live overlays: accounting only, never on the
     // access path.
-    for (const auto &[opn, lines] : data_) {
+    for (const auto &[opn, page] : data_) {
+        (void)page;
         const OmtEntry *entry = omt_.find(opn);
         if (entry != nullptr && entry->hasSegment && entry->seg.cls == cls)
             ++count;

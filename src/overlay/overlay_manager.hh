@@ -11,8 +11,10 @@
 #ifndef OVERLAYSIM_OVERLAY_OVERLAY_MANAGER_HH
 #define OVERLAYSIM_OVERLAY_OVERLAY_MANAGER_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -156,8 +158,30 @@ class OverlayManager : public SimObject
     OmtCache omtCache_;
     OmsAllocator allocator_;
 
-    /** Logical overlay contents: opn -> (line index -> bytes). */
-    std::unordered_map<Opn, std::unordered_map<unsigned, LineData>> data_;
+    /**
+     * Logical contents of one overlay page, flattened: a presence bitmap
+     * plus a dense line array. One hash lookup (against the previous
+     * map-of-maps' two) and then a bit test resolves any line; poke/peek
+     * hit this once per 64 B chunk.
+     */
+    struct OverlayPageData
+    {
+        BitVector64 present;
+        std::array<LineData, kLinesPerPage> lines;
+    };
+
+    /** Find the page data of @p opn; nullptr if absent. Caches the last
+     *  hit, since chunked functional accesses resolve the same page
+     *  repeatedly (heap nodes are stable across rehash). */
+    OverlayPageData *findPageData(Opn opn) const;
+    /** Find-or-create; recycles retired pages through pagePool_. */
+    OverlayPageData &ensurePageData(Opn opn);
+
+    /** Logical overlay contents: opn -> flattened page. */
+    std::unordered_map<Opn, std::unique_ptr<OverlayPageData>> data_;
+    std::vector<std::unique_ptr<OverlayPageData>> pagePool_;
+    mutable Opn cachedOpn_ = kInvalidAddr;
+    mutable OverlayPageData *cachedPage_ = nullptr;
 
     std::uint64_t omsBytesInUse_ = 0;
     std::vector<Addr> walkScratch_;

@@ -4,14 +4,22 @@
  * of overlaysim is modeled with computed latencies (see DESIGN.md §5), but
  * background activities — write-buffer drains, OMS maintenance, checkpoint
  * ticks — are scheduled here.
+ *
+ * The queue owns its heap as a flat vector of move-only events, pops by
+ * moving the event out, and stores callbacks in a small-buffer-optimized
+ * holder, so steady-state scheduling and dispatch never touch the
+ * allocator (a capture larger than the inline buffer falls back to the
+ * heap; none of the simulator's callbacks do).
  */
 
 #ifndef OVERLAYSIM_SIM_EVENT_QUEUE_HH
 #define OVERLAYSIM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -21,13 +29,137 @@ namespace ovl
 {
 
 /**
+ * Move-only callable holder for `void(Tick)` with inline storage for
+ * captures up to kInlineSize bytes. Larger callables are boxed on the
+ * heap (transparent to callers, just slower — keep captures small).
+ */
+class SmallCallback
+{
+    static constexpr std::size_t kInlineSize = 48;
+
+    struct VTable
+    {
+        void (*invoke)(void *obj, Tick t);
+        /** Move-construct *src into dst storage, then destroy *src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *obj);
+    };
+
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= kInlineSize && alignof(F) <= alignof(std::max_align_t);
+
+    template <typename F>
+    struct InlineOps
+    {
+        static void
+        invoke(void *obj, Tick t)
+        {
+            (*static_cast<F *>(obj))(t);
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            ::new (dst) F(std::move(*static_cast<F *>(src)));
+            static_cast<F *>(src)->~F();
+        }
+        static void destroy(void *obj) { static_cast<F *>(obj)->~F(); }
+        static constexpr VTable vtable{invoke, relocate, destroy};
+    };
+
+    template <typename F>
+    struct BoxedOps
+    {
+        static void
+        invoke(void *obj, Tick t)
+        {
+            (**static_cast<F **>(obj))(t);
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            *static_cast<F **>(dst) = *static_cast<F **>(src);
+        }
+        static void destroy(void *obj) { delete *static_cast<F **>(obj); }
+        static constexpr VTable vtable{invoke, relocate, destroy};
+    };
+
+  public:
+    SmallCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallCallback>>>
+    SmallCallback(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            vt_ = &InlineOps<Fn>::vtable;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            vt_ = &BoxedOps<Fn>::vtable;
+        }
+    }
+
+    SmallCallback(SmallCallback &&other) noexcept { moveFrom(other); }
+
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    void
+    operator()(Tick t)
+    {
+        ovl_assert(vt_ != nullptr, "invoking an empty callback");
+        vt_->invoke(buf_, t);
+    }
+
+    explicit operator bool() const { return vt_ != nullptr; }
+
+  private:
+    void
+    moveFrom(SmallCallback &other) noexcept
+    {
+        vt_ = other.vt_;
+        if (vt_ != nullptr) {
+            vt_->relocate(buf_, other.buf_);
+            other.vt_ = nullptr;
+        }
+    }
+
+    void
+    reset()
+    {
+        if (vt_ != nullptr) {
+            vt_->destroy(buf_);
+            vt_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+    const VTable *vt_ = nullptr;
+};
+
+/**
  * A time-ordered queue of callbacks. Ties are broken by insertion order so
  * simulation is deterministic regardless of heap internals.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void(Tick)>;
+    using Callback = SmallCallback;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -45,7 +177,8 @@ class EventQueue
     schedule(Tick when, Callback cb)
     {
         ovl_assert(when >= now_, "scheduling an event in the past");
-        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+        heap_.push_back(Event{when, nextSeq_++, std::move(cb)});
+        siftUp(heap_.size() - 1);
     }
 
     /** Number of pending events. */
@@ -55,7 +188,7 @@ class EventQueue
     Tick
     nextEventTick() const
     {
-        return heap_.empty() ? kMaxTick : heap_.top().when;
+        return heap_.empty() ? kMaxTick : heap_.front().when;
     }
 
     /**
@@ -65,9 +198,8 @@ class EventQueue
     void
     runUntil(Tick until)
     {
-        while (!heap_.empty() && heap_.top().when <= until) {
-            Event ev = heap_.top();
-            heap_.pop();
+        while (!heap_.empty() && heap_.front().when <= until) {
+            Event ev = popMin();
             now_ = ev.when;
             ev.cb(now_);
         }
@@ -80,7 +212,7 @@ class EventQueue
     drain()
     {
         while (!heap_.empty())
-            runUntil(heap_.top().when);
+            runUntil(heap_.front().when);
     }
 
   private:
@@ -91,15 +223,60 @@ class EventQueue
         Callback cb;
 
         bool
-        operator>(const Event &other) const
+        before(const Event &other) const
         {
             if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
+                return when < other.when;
+            return seq < other.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    /** Move the minimum out of the heap and restore the heap property. */
+    Event
+    popMin()
+    {
+        Event min = std::move(heap_.front());
+        Event last = std::move(heap_.back());
+        heap_.pop_back();
+        if (!heap_.empty()) {
+            heap_.front() = std::move(last);
+            siftDown(0);
+        }
+        return min;
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!heap_[i].before(heap_[parent]))
+                break;
+            std::swap(heap_[i], heap_[parent]);
+            i = parent;
+        }
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t left = 2 * i + 1;
+            if (left >= n)
+                break;
+            std::size_t smallest = left;
+            std::size_t right = left + 1;
+            if (right < n && heap_[right].before(heap_[left]))
+                smallest = right;
+            if (!heap_[smallest].before(heap_[i]))
+                break;
+            std::swap(heap_[i], heap_[smallest]);
+            i = smallest;
+        }
+    }
+
+    std::vector<Event> heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
 };

@@ -20,59 +20,11 @@ Tlb::Tlb(std::string name, TlbParams params)
     ovl_assert(isPowerOf2(numSets_), "TLB set count must be a power of two");
 }
 
-Tlb::Way *
-Tlb::findWay(Asid asid, Addr vpn)
-{
-    Way *set = &ways_[std::size_t(setOf(vpn)) * params_.associativity];
-    for (unsigned w = 0; w < params_.associativity; ++w) {
-        if (set[w].valid && set[w].asid == asid && set[w].vpn == vpn)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-TlbEntryData *
-Tlb::lookup(Asid asid, Addr vpn)
-{
-    if (Way *way = findWay(asid, vpn)) {
-        ++hits_;
-        way->lruSeq = ++lruCounter_;
-        return &way->data;
-    }
-    ++misses_;
-    return nullptr;
-}
-
 const TlbEntryData *
 Tlb::probe(Asid asid, Addr vpn) const
 {
     const Way *way = const_cast<Tlb *>(this)->findWay(asid, vpn);
     return way ? &way->data : nullptr;
-}
-
-void
-Tlb::insert(Asid asid, Addr vpn, const TlbEntryData &data)
-{
-    if (Way *way = findWay(asid, vpn)) {
-        way->data = data;
-        way->lruSeq = ++lruCounter_;
-        return;
-    }
-    Way *set = &ways_[std::size_t(setOf(vpn)) * params_.associativity];
-    Way *victim = &set[0];
-    for (unsigned w = 0; w < params_.associativity; ++w) {
-        if (!set[w].valid) {
-            victim = &set[w];
-            break;
-        }
-        if (set[w].lruSeq < victim->lruSeq)
-            victim = &set[w];
-    }
-    victim->valid = true;
-    victim->asid = asid;
-    victim->vpn = vpn;
-    victim->data = data;
-    victim->lruSeq = ++lruCounter_;
 }
 
 void
@@ -114,30 +66,6 @@ TwoLevelTlb::TwoLevelTlb(std::string name, TlbHierarchyParams params)
       l1_(this->name() + ".l1", params.l1),
       l2_(this->name() + ".l2", params.l2)
 {
-}
-
-TlbAccessResult
-TwoLevelTlb::access(Asid asid, Addr vpn)
-{
-    TlbAccessResult res;
-    if (TlbEntryData *entry = l1_.lookup(asid, vpn)) {
-        res.entry = entry;
-        res.latency = params_.l1.hitLatency;
-        return res;
-    }
-    if (TlbEntryData *entry = l2_.lookup(asid, vpn)) {
-        // Promote into L1 and return the L1 copy so that coherence
-        // updates through the returned pointer hit the level the core
-        // reads from.
-        l1_.insert(asid, vpn, *entry);
-        res.entry = l1_.lookup(asid, vpn);
-        res.latency = params_.l1.hitLatency + params_.l2.hitLatency;
-        return res;
-    }
-    res.needsWalk = true;
-    res.latency = params_.l1.hitLatency + params_.l2.hitLatency +
-                  params_.walkLatency;
-    return res;
 }
 
 TlbEntryData *

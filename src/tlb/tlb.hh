@@ -55,18 +55,52 @@ class Tlb : public SimObject
   public:
     Tlb(std::string name, TlbParams params);
 
-    /** Look up a translation; nullptr on miss. Updates recency on hit. */
-    TlbEntryData *lookup(Asid asid, Addr vpn);
+    /** Look up a translation; nullptr on miss. Updates recency on hit.
+     *  Inline: this runs at least once per simulated memory access. */
+    TlbEntryData *
+    lookup(Asid asid, Addr vpn)
+    {
+        if (Way *way = findWay(asid, vpn)) {
+            ++hits_;
+            way->lruSeq = ++lruCounter_;
+            return &way->data;
+        }
+        ++misses_;
+        return nullptr;
+    }
 
     /** Probe without recency update. */
     const TlbEntryData *probe(Asid asid, Addr vpn) const;
 
     /**
      * Install a translation, evicting the set's LRU entry if needed.
-     * @return the evicted entry's (asid, vpn, data) via out-params when
-     * @p evicted is non-null and an eviction happened.
+     * Inline: L2-hit promotions into the L1 TLB make this hot on
+     * streaming workloads.
      */
-    void insert(Asid asid, Addr vpn, const TlbEntryData &data);
+    void
+    insert(Asid asid, Addr vpn, const TlbEntryData &data)
+    {
+        if (Way *way = findWay(asid, vpn)) {
+            way->data = data;
+            way->lruSeq = ++lruCounter_;
+            return;
+        }
+        Way *set = &ways_[std::size_t(setOf(vpn)) * params_.associativity];
+        Way *victim = &set[0];
+        for (unsigned w = 0; w < params_.associativity; ++w) {
+            if (!set[w].valid) {
+                victim = &set[w];
+                break;
+            }
+            if (set[w].lruSeq < victim->lruSeq)
+                victim = &set[w];
+        }
+        victim->valid = true;
+        victim->asid = asid;
+        victim->vpn = vpn;
+        victim->data = data;
+        victim->lruSeq = ++lruCounter_;
+    }
 
     /** Drop one translation (remap / shootdown). */
     void invalidate(Asid asid, Addr vpn);
@@ -101,7 +135,17 @@ class Tlb : public SimObject
     };
 
     unsigned setOf(Addr vpn) const { return unsigned(vpn) & (numSets_ - 1); }
-    Way *findWay(Asid asid, Addr vpn);
+
+    Way *
+    findWay(Asid asid, Addr vpn)
+    {
+        Way *set = &ways_[std::size_t(setOf(vpn)) * params_.associativity];
+        for (unsigned w = 0; w < params_.associativity; ++w) {
+            if (set[w].valid && set[w].asid == asid && set[w].vpn == vpn)
+                return &set[w];
+        }
+        return nullptr;
+    }
 
     TlbParams params_;
     unsigned numSets_;
@@ -141,8 +185,31 @@ class TwoLevelTlb : public SimObject
   public:
     TwoLevelTlb(std::string name, TlbHierarchyParams params);
 
-    /** Look up (asid, vpn); see TlbAccessResult. */
-    TlbAccessResult access(Asid asid, Addr vpn);
+    /** Look up (asid, vpn); see TlbAccessResult. Inline: first stop of
+     *  every simulated memory access. */
+    TlbAccessResult
+    access(Asid asid, Addr vpn)
+    {
+        TlbAccessResult res;
+        if (TlbEntryData *entry = l1_.lookup(asid, vpn)) {
+            res.entry = entry;
+            res.latency = params_.l1.hitLatency;
+            return res;
+        }
+        if (TlbEntryData *entry = l2_.lookup(asid, vpn)) {
+            // Promote into L1 and return the L1 copy so that coherence
+            // updates through the returned pointer hit the level the core
+            // reads from.
+            l1_.insert(asid, vpn, *entry);
+            res.entry = l1_.lookup(asid, vpn);
+            res.latency = params_.l1.hitLatency + params_.l2.hitLatency;
+            return res;
+        }
+        res.needsWalk = true;
+        res.latency = params_.l1.hitLatency + params_.l2.hitLatency +
+                      params_.walkLatency;
+        return res;
+    }
 
     /** Install a walked translation into both levels. */
     TlbEntryData *fill(Asid asid, Addr vpn, const TlbEntryData &data);

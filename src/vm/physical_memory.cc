@@ -15,6 +15,8 @@ PhysicalMemory::PhysicalMemory(std::string name,
       framesFreed_(&statGroup(), "framesFreed", "4 KB frames freed"),
       bytesGauge_(&statGroup(), "bytesInUse", "bytes currently allocated")
 {
+    refCounts_.resize(64, 0);
+    contents_.resize(64);
     refCounts_[kZeroFrame] = 1; // permanently live
 }
 
@@ -30,6 +32,10 @@ PhysicalMemory::allocFrame()
         if (frame * kPageSize >= capacityBytes_)
             ovl_fatal("physical memory exhausted (%llu bytes)",
                       (unsigned long long)capacityBytes_);
+        if (frame >= refCounts_.size()) {
+            refCounts_.resize(refCounts_.size() * 2, 0);
+            contents_.resize(refCounts_.size());
+        }
     }
     refCounts_[frame] = 1;
     ++framesAllocated_;
@@ -41,10 +47,9 @@ PhysicalMemory::allocFrame()
 void
 PhysicalMemory::addRef(Addr frame)
 {
-    auto it = refCounts_.find(frame);
-    ovl_assert(it != refCounts_.end() && it->second > 0,
+    ovl_assert(frame < refCounts_.size() && refCounts_[frame] > 0,
                "addRef on an unallocated frame");
-    ++it->second;
+    ++refCounts_[frame];
 }
 
 void
@@ -52,12 +57,13 @@ PhysicalMemory::release(Addr frame)
 {
     if (frame == kZeroFrame)
         return;
-    auto it = refCounts_.find(frame);
-    ovl_assert(it != refCounts_.end() && it->second > 0,
+    ovl_assert(frame < refCounts_.size() && refCounts_[frame] > 0,
                "release of an unallocated frame");
-    if (--it->second == 0) {
-        refCounts_.erase(it);
-        contents_.erase(frame);
+    if (--refCounts_[frame] == 0) {
+        // Retire the backing buffer to the pool; the next materializer
+        // zero-fills it, so a recycled frame still reads as zero.
+        if (contents_[frame])
+            pagePool_.push_back(std::move(contents_[frame]));
         freeFrames_.push_back(frame);
         ++framesFreed_;
         --framesInUse_;
@@ -68,61 +74,25 @@ PhysicalMemory::release(Addr frame)
 unsigned
 PhysicalMemory::refCount(Addr frame) const
 {
-    auto it = refCounts_.find(frame);
-    return it == refCounts_.end() ? 0 : it->second;
+    return frame < refCounts_.size() ? refCounts_[frame] : 0;
 }
 
 PageData *
 PhysicalMemory::framePtr(Addr frame)
 {
     ovl_assert(frame != kZeroFrame, "writing the shared zero frame");
-    auto [it, inserted] = contents_.try_emplace(frame);
-    if (inserted) {
-        it->second = std::make_unique<PageData>();
-        it->second->fill(0);
+    ovl_assert(frame < contents_.size(), "frame out of range");
+    std::unique_ptr<PageData> &slot = contents_[frame];
+    if (!slot) {
+        if (!pagePool_.empty()) {
+            slot = std::move(pagePool_.back());
+            pagePool_.pop_back();
+        } else {
+            slot = std::make_unique<PageData>();
+        }
+        slot->fill(0);
     }
-    return it->second.get();
-}
-
-const PageData *
-PhysicalMemory::framePtrConst(Addr frame) const
-{
-    auto it = contents_.find(frame);
-    return it == contents_.end() ? nullptr : it->second.get();
-}
-
-void
-PhysicalMemory::readLine(Addr paddr, LineData &out) const
-{
-    readBytes(paddr & ~kLineMask, out.data(), kLineSize);
-}
-
-void
-PhysicalMemory::writeLine(Addr paddr, const LineData &data)
-{
-    writeBytes(paddr & ~kLineMask, data.data(), kLineSize);
-}
-
-void
-PhysicalMemory::readBytes(Addr paddr, void *out, std::size_t len) const
-{
-    ovl_assert(pageNumber(paddr) == pageNumber(paddr + len - 1),
-               "functional access crosses a page boundary");
-    const PageData *page = framePtrConst(pageNumber(paddr));
-    if (page == nullptr) {
-        std::memset(out, 0, len); // untouched or zero frame: reads as zero
-        return;
-    }
-    std::memcpy(out, page->data() + pageOffset(paddr), len);
-}
-
-void
-PhysicalMemory::writeBytes(Addr paddr, const void *in, std::size_t len)
-{
-    ovl_assert(pageNumber(paddr) == pageNumber(paddr + len - 1),
-               "functional access crosses a page boundary");
-    PageData *page = framePtr(pageNumber(paddr));
-    std::memcpy(page->data() + pageOffset(paddr), in, len);
+    return slot.get();
 }
 
 void

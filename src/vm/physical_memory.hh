@@ -12,10 +12,11 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
 
@@ -62,6 +63,7 @@ class PhysicalMemory : public SimObject
     std::uint64_t capacityBytes() const { return capacityBytes_; }
 
     // ----- functional data access (physical addresses) ------------------
+    // Inline (below): every peek/poke lands here once per 64 B chunk.
 
     void readLine(Addr paddr, LineData &out) const;
     void writeLine(Addr paddr, const LineData &data);
@@ -78,14 +80,64 @@ class PhysicalMemory : public SimObject
     std::uint64_t capacityBytes_;
     Addr nextFrame_ = 1; ///< frame 0 is the zero frame
     std::vector<Addr> freeFrames_;
-    std::unordered_map<Addr, unsigned> refCounts_;
-    std::unordered_map<Addr, std::unique_ptr<PageData>> contents_;
+    // Dense, frame-indexed bookkeeping. A refcount of 0 means the frame
+    // is unallocated; a null contents slot reads as all-zeroes (zero
+    // frame, or allocated but never written). Both vectors grow lazily
+    // with the high-water frame number, so capacity can be huge without
+    // paying for it up front.
+    std::vector<unsigned> refCounts_;
+    std::vector<std::unique_ptr<PageData>> contents_;
+    // Retired page buffers, recycled by framePtr so the steady-state
+    // alloc/release churn of fork-heavy workloads never hits malloc.
+    std::vector<std::unique_ptr<PageData>> pagePool_;
     std::uint64_t framesInUse_ = 0;
 
     stats::Counter framesAllocated_;
     stats::Counter framesFreed_;
     stats::Gauge bytesGauge_;
 };
+
+// ------------------------ inline hot path ------------------------------
+
+inline const PageData *
+PhysicalMemory::framePtrConst(Addr frame) const
+{
+    return frame < contents_.size() ? contents_[frame].get() : nullptr;
+}
+
+inline void
+PhysicalMemory::readBytes(Addr paddr, void *out, std::size_t len) const
+{
+    ovl_assert(pageNumber(paddr) == pageNumber(paddr + len - 1),
+               "functional access crosses a page boundary");
+    const PageData *page = framePtrConst(pageNumber(paddr));
+    if (page == nullptr) {
+        std::memset(out, 0, len); // untouched or zero frame: reads as zero
+        return;
+    }
+    std::memcpy(out, page->data() + pageOffset(paddr), len);
+}
+
+inline void
+PhysicalMemory::writeBytes(Addr paddr, const void *in, std::size_t len)
+{
+    ovl_assert(pageNumber(paddr) == pageNumber(paddr + len - 1),
+               "functional access crosses a page boundary");
+    PageData *page = framePtr(pageNumber(paddr));
+    std::memcpy(page->data() + pageOffset(paddr), in, len);
+}
+
+inline void
+PhysicalMemory::readLine(Addr paddr, LineData &out) const
+{
+    readBytes(paddr & ~kLineMask, out.data(), kLineSize);
+}
+
+inline void
+PhysicalMemory::writeLine(Addr paddr, const LineData &data)
+{
+    writeBytes(paddr & ~kLineMask, data.data(), kLineSize);
+}
 
 } // namespace ovl
 

@@ -29,20 +29,6 @@ Vmm::createProcess()
     return processes_.back()->asid;
 }
 
-Process &
-Vmm::process(Asid asid)
-{
-    ovl_assert(asid < processes_.size(), "unknown ASID");
-    return *processes_[asid];
-}
-
-const Process &
-Vmm::process(Asid asid) const
-{
-    ovl_assert(asid < processes_.size(), "unknown ASID");
-    return *processes_[asid];
-}
-
 void
 Vmm::mapAnon(Asid asid, Addr vaddr, std::uint64_t len, bool writable)
 {
@@ -116,12 +102,6 @@ Vmm::fork(Asid parent, ForkMode mode)
         child_proc.pageTable.set(vpn, pte);
     }
     return child;
-}
-
-Pte *
-Vmm::resolve(Asid asid, Addr vpn)
-{
-    return process(asid).pageTable.find(vpn);
 }
 
 Addr

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
 #include "vm/page_table.hh"
@@ -45,8 +46,20 @@ class Vmm : public SimObject
     /** Create an empty process; returns its ASID. */
     Asid createProcess();
 
-    Process &process(Asid asid);
-    const Process &process(Asid asid) const;
+    // Inline: resolve()/process() run on every functional load and store.
+    Process &
+    process(Asid asid)
+    {
+        ovl_assert(asid < processes_.size(), "unknown ASID");
+        return *processes_[asid];
+    }
+
+    const Process &
+    process(Asid asid) const
+    {
+        ovl_assert(asid < processes_.size(), "unknown ASID");
+        return *processes_[asid];
+    }
 
     /**
      * Map [vaddr, vaddr+len) to fresh zeroed private frames.
@@ -79,7 +92,10 @@ class Vmm : public SimObject
     Asid fork(Asid parent, ForkMode mode);
 
     /** PTE of (asid, vpn); nullptr if unmapped. */
-    Pte *resolve(Asid asid, Addr vpn);
+    Pte *resolve(Asid asid, Addr vpn)
+    {
+        return process(asid).pageTable.find(vpn);
+    }
 
     /**
      * Copy-on-write break for (asid, vpn): gives the page a private
