@@ -6,17 +6,25 @@
  * wider issue and deeper windows help both mechanisms, and the OoW edge
  * persists (the CoW costs are serializing OS events, not issue-bound
  * work).
+ *
+ * The six grid points are independent System pairs and fan out over the
+ * parallel sweep runner (`--jobs N`, OVL_JOBS).
  */
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
+#include "sim/parallel.hh"
 #include "workload/forkbench.hh"
 
 using namespace ovl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = jobsFromCommandLine(argc, argv);
+
     std::printf("Ablation: issue width x instruction window (mcf"
                 " post-fork)\n\n");
     std::printf("%6s %8s %12s %12s %9s\n", "issue", "window", "CoW CPI",
@@ -34,16 +42,30 @@ main()
     };
     const Point points[] = {{1, 16}, {1, 64}, {1, 256},
                             {2, 64}, {4, 64}, {4, 256}};
-    for (const Point &pt : points) {
-        SystemConfig cfg;
-        cfg.issueWidth = pt.width;
-        cfg.instructionWindow = pt.window;
-        ForkBenchResult cow =
-            runForkBench(params, ForkMode::CopyOnWrite, cfg);
-        ForkBenchResult oow =
-            runForkBench(params, ForkMode::OverlayOnWrite, cfg);
+
+    struct Row
+    {
+        ForkBenchResult cow, oow;
+    };
+    std::vector<Row> rows = parallelMap(
+        std::size(points),
+        [&points, &params](std::size_t i) {
+            SystemConfig cfg;
+            cfg.issueWidth = points[i].width;
+            cfg.instructionWindow = points[i].window;
+            Row row;
+            row.cow = runForkBench(params, ForkMode::CopyOnWrite, cfg);
+            row.oow = runForkBench(params, ForkMode::OverlayOnWrite, cfg);
+            return row;
+        },
+        jobs);
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Point &pt = points[i];
+        const Row &row = rows[i];
         std::printf("%6u %8u %12.3f %12.3f %8.3fx%s\n", pt.width,
-                    pt.window, cow.cpi, oow.cpi, cow.cpi / oow.cpi,
+                    pt.window, row.cow.cpi, row.oow.cpi,
+                    row.cow.cpi / row.oow.cpi,
                     pt.width == 1 && pt.window == 64 ? "  <- Table 2"
                                                      : "");
     }

@@ -6,12 +6,17 @@
  * page and shoots down the reader's translations; with overlay-on-write
  * the reader's TLB entries are updated in place by ORE messages and its
  * translations survive (§4.3.3).
+ *
+ * The two mechanism runs are independent Systems and fan out over the
+ * parallel sweep runner (`--jobs N`, OVL_JOBS).
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/random.hh"
 #include "cpu/ooo_core.hh"
+#include "sim/parallel.hh"
 #include "system/system.hh"
 
 using namespace ovl;
@@ -86,12 +91,21 @@ run(ForkMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = jobsFromCommandLine(argc, argv);
+
     std::printf("Ablation: reader-thread disturbance while a writer"
                 " thread diverges\nforked pages (2 cores, one process)\n\n");
-    Result cow = run(ForkMode::CopyOnWrite);
-    Result oow = run(ForkMode::OverlayOnWrite);
+    std::vector<Result> results = parallelMap(
+        2,
+        [](std::size_t i) {
+            return run(i == 0 ? ForkMode::CopyOnWrite
+                              : ForkMode::OverlayOnWrite);
+        },
+        jobs);
+    const Result &cow = results[0];
+    const Result &oow = results[1];
     std::printf("%-18s %12s %18s\n", "mechanism", "reader CPI",
                 "reader TLB walks");
     std::printf("copy-on-write      %12.3f %18llu\n", cow.readerCpi,

@@ -5,13 +5,19 @@
  * the latency of memory accesses"). Runs the overlay SpMV with and
  * without the OBitVector-directed prefetch and with/without the regular
  * stream prefetcher.
+ *
+ * The four variants are independent Systems over a shared read-only
+ * matrix and fan out over the parallel sweep runner (`--jobs N`); the
+ * baseline normalization happens in the ordered render loop.
  */
 
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "common/random.hh"
 #include "cpu/ooo_core.hh"
+#include "sim/parallel.hh"
 #include "sparse/overlay_matrix.hh"
 #include "sparse/spmv.hh"
 #include "workload/matrixgen.hh"
@@ -69,8 +75,10 @@ runOverlaySpmv(const SystemConfig &cfg, const CooMatrix &coo,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = jobsFromCommandLine(argc, argv);
+
     std::printf("Ablation: prefetching for overlay-based SpMV\n\n");
 
     MatrixSpec spec;
@@ -100,16 +108,23 @@ main()
     std::printf("%.*s\n", 66,
                 "------------------------------------------------------"
                 "------------");
+
+    std::vector<Tick> cycles = parallelMap(
+        std::size(variants),
+        [&variants, &coo, &x](std::size_t i) {
+            SystemConfig cfg;
+            cfg.caches.prefetcher.enabled = variants[i].stream_pf;
+            return runOverlaySpmv(cfg, coo, x, variants[i].overlay_pf);
+        },
+        jobs);
+
     Tick baseline = 0;
-    for (const Variant &v : variants) {
-        SystemConfig cfg;
-        cfg.caches.prefetcher.enabled = v.stream_pf;
-        Tick cycles = runOverlaySpmv(cfg, coo, x, v.overlay_pf);
+    for (std::size_t i = 0; i < std::size(variants); ++i) {
         if (baseline == 0)
-            baseline = cycles;
-        std::printf("%-42s %12llu %8.2fx\n", v.name,
-                    (unsigned long long)cycles,
-                    double(cycles) / double(baseline));
+            baseline = cycles[i];
+        std::printf("%-42s %12llu %8.2fx\n", variants[i].name,
+                    (unsigned long long)cycles[i],
+                    double(cycles[i]) / double(baseline));
     }
     std::printf("\nThe OBitVector tells the hardware exactly which lines"
                 " to fetch; without it,\nsparse overlay lines defeat the"

@@ -5,10 +5,16 @@
  * (copy-and-commit). Sweeps the promotion threshold on a Type-2
  * streaming workload (whose pages get ~62/64 lines dirtied) and a
  * Type-3 sparse workload (~4 lines/page) to show the policy trade-off.
+ *
+ * The 10 (benchmark, threshold) cells are independent Systems and fan
+ * out over the parallel sweep runner (`--jobs N`, OVL_JOBS).
  */
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
+#include "sim/parallel.hh"
 #include "workload/forkbench.hh"
 
 using namespace ovl;
@@ -16,38 +22,56 @@ using namespace ovl;
 namespace
 {
 
-void
-sweep(const char *bench_name)
+constexpr const char *kBenches[] = {"lbm", "mcf"};
+constexpr unsigned kThresholds[] = {8u, 16u, 32u, 48u, 64u};
+constexpr std::size_t kNumThresholds = std::size(kThresholds);
+
+ForkBenchResult
+runCell(const char *bench_name, unsigned threshold)
 {
     ForkBenchParams params = forkBenchByName(bench_name);
     params.postForkInstructions = 2'000'000;
-    std::printf("%s (type %u, ~%u lines per dirtied page):\n",
-                bench_name, params.type, params.linesPerDirtyPage);
-    std::printf("  %12s %10s %14s\n", "threshold", "CPI",
-                "extra memory");
-    for (unsigned threshold : {8u, 16u, 32u, 48u, 64u}) {
-        SystemConfig cfg;
-        cfg.promoteThresholdLines = threshold;
-        ForkBenchResult res =
-            runForkBench(params, ForkMode::OverlayOnWrite, cfg);
-        std::printf("  %11u%s %10.3f %12.2fMB%s\n", threshold,
-                    threshold == 64 ? "*" : " ", res.cpi,
-                    res.additionalMemoryMB,
-                    threshold == 64 ? "  (disabled)" : "");
-    }
-    std::printf("\n");
+    SystemConfig cfg;
+    cfg.promoteThresholdLines = threshold;
+    return runForkBench(params, ForkMode::OverlayOnWrite, cfg);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = jobsFromCommandLine(argc, argv);
+
     std::printf("Ablation: overlay promotion threshold (§4.3.4's"
                 " copy-and-commit policy)\n");
     std::printf("(* = promotion disabled, the evaluation default)\n\n");
-    sweep("lbm");
-    sweep("mcf");
+
+    std::vector<ForkBenchResult> results = parallelMap(
+        std::size(kBenches) * kNumThresholds,
+        [](std::size_t i) {
+            return runCell(kBenches[i / kNumThresholds],
+                           kThresholds[i % kNumThresholds]);
+        },
+        jobs);
+
+    for (std::size_t b = 0; b < std::size(kBenches); ++b) {
+        ForkBenchParams params = forkBenchByName(kBenches[b]);
+        std::printf("%s (type %u, ~%u lines per dirtied page):\n",
+                    kBenches[b], params.type, params.linesPerDirtyPage);
+        std::printf("  %12s %10s %14s\n", "threshold", "CPI",
+                    "extra memory");
+        for (std::size_t t = 0; t < kNumThresholds; ++t) {
+            unsigned threshold = kThresholds[t];
+            const ForkBenchResult &res = results[b * kNumThresholds + t];
+            std::printf("  %11u%s %10.3f %12.2fMB%s\n", threshold,
+                        threshold == 64 ? "*" : " ", res.cpi,
+                        res.additionalMemoryMB,
+                        threshold == 64 ? "  (disabled)" : "");
+        }
+        std::printf("\n");
+    }
+
     std::printf("On dense overlays (lbm) promotion costs pure overhead:"
                 " each converted page\npays a 64-line copy-and-commit"
                 " while a 62-line overlay already occupies a\nfull 4 KB"

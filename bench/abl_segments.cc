@@ -6,17 +6,25 @@
  * capacity benefit") and against compact segments with the buddy
  * coalescing extension, on a Type-3 fork workload whose overlays are
  * small (few lines per page).
+ *
+ * The three variants plus the copy-on-write reference are independent
+ * Systems and fan out over the parallel sweep runner (`--jobs N`).
  */
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
+#include "sim/parallel.hh"
 #include "workload/forkbench.hh"
 
 using namespace ovl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = jobsFromCommandLine(argc, argv);
+
     std::printf("Ablation: OMS segment organization (overlay-on-write,"
                 " astar)\n\n");
     std::printf("%-28s %10s %14s\n", "organization", "CPI",
@@ -39,21 +47,31 @@ main()
         {"full page per overlay", true, false},
     };
 
+    // Item 3 is the copy-on-write reference row.
+    std::vector<ForkBenchResult> results = parallelMap(
+        std::size(variants) + 1,
+        [&variants, &params](std::size_t i) {
+            if (i == std::size(variants))
+                return runForkBench(params, ForkMode::CopyOnWrite,
+                                    SystemConfig{});
+            SystemConfig cfg;
+            cfg.overlay.fullPageSegments = variants[i].full_page;
+            cfg.overlay.allocator.coalesce = variants[i].coalesce;
+            return runForkBench(params, ForkMode::OverlayOnWrite, cfg);
+        },
+        jobs);
+
     double compact_mb = 0;
-    for (const Variant &v : variants) {
-        SystemConfig cfg;
-        cfg.overlay.fullPageSegments = v.full_page;
-        cfg.overlay.allocator.coalesce = v.coalesce;
-        ForkBenchResult res =
-            runForkBench(params, ForkMode::OverlayOnWrite, cfg);
+    for (std::size_t i = 0; i < std::size(variants); ++i) {
+        const Variant &v = variants[i];
+        const ForkBenchResult &res = results[i];
         std::printf("%-28s %10.3f %12.2fMB\n", v.name, res.cpi,
                     res.additionalMemoryMB);
         if (!v.full_page && !v.coalesce)
             compact_mb = res.additionalMemoryMB;
     }
 
-    ForkBenchResult cow =
-        runForkBench(params, ForkMode::CopyOnWrite, SystemConfig{});
+    const ForkBenchResult &cow = results[std::size(variants)];
     std::printf("%-28s %10.3f %12.2fMB\n", "copy-on-write (reference)",
                 cow.cpi, cow.additionalMemoryMB);
 

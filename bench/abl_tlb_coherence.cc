@@ -5,10 +5,16 @@
  * TLB through the coherence network; the naive alternative is a full TLB
  * shootdown per overlaying write. Measures one overlaying write under
  * both protocols as the TLB count scales.
+ *
+ * The five TLB counts are independent System pairs and fan out over the
+ * parallel sweep runner (`--jobs N`, OVL_JOBS).
  */
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
+#include "sim/parallel.hh"
 #include "system/system.hh"
 
 using namespace ovl;
@@ -40,8 +46,10 @@ measureOverlayingWrite(const SystemConfig &cfg, bool use_shootdown)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = jobsFromCommandLine(argc, argv);
+
     std::printf("Ablation: overlaying-read-exclusive vs TLB shootdown"
                 " (one overlaying write)\n\n");
     std::printf("%6s %22s %22s %8s\n", "TLBs", "ORE message (paper)",
@@ -50,14 +58,29 @@ main()
                 "------------------------------------------------------"
                 "--------");
 
-    for (unsigned tlbs : {1u, 2u, 4u, 8u, 16u}) {
-        SystemConfig cfg;
-        cfg.numTlbs = tlbs;
-        Tick ore = measureOverlayingWrite(cfg, false);
-        Tick shoot = measureOverlayingWrite(cfg, true);
-        std::printf("%6u %15llu cycles %15llu cycles %7.1fx\n", tlbs,
-                    (unsigned long long)ore, (unsigned long long)shoot,
-                    double(shoot) / double(ore));
+    const unsigned tlb_counts[] = {1u, 2u, 4u, 8u, 16u};
+
+    struct Row
+    {
+        Tick ore, shoot;
+    };
+    std::vector<Row> rows = parallelMap(
+        std::size(tlb_counts),
+        [&tlb_counts](std::size_t i) {
+            SystemConfig cfg;
+            cfg.numTlbs = tlb_counts[i];
+            Row row;
+            row.ore = measureOverlayingWrite(cfg, false);
+            row.shoot = measureOverlayingWrite(cfg, true);
+            return row;
+        },
+        jobs);
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::printf("%6u %15llu cycles %15llu cycles %7.1fx\n",
+                    tlb_counts[i], (unsigned long long)rows[i].ore,
+                    (unsigned long long)rows[i].shoot,
+                    double(rows[i].shoot) / double(rows[i].ore));
     }
 
     std::printf("\nThe ORE cost is flat in the TLB count (one coherence"

@@ -5,17 +5,25 @@
  * write-intensive workload (lbm streaming) under both fork modes —
  * overlay-on-write generates OMS write traffic (data + segment metadata)
  * that the buffer must absorb.
+ *
+ * The four buffer sizes are independent System pairs and fan out over
+ * the parallel sweep runner (`--jobs N`, OVL_JOBS).
  */
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
+#include "sim/parallel.hh"
 #include "workload/forkbench.hh"
 
 using namespace ovl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = jobsFromCommandLine(argc, argv);
+
     std::printf("Ablation: DRAM write-buffer entries (lbm, streaming"
                 " writes)\n\n");
     std::printf("%10s %16s %16s\n", "entries", "CoW CPI", "OoW CPI");
@@ -24,15 +32,28 @@ main()
     ForkBenchParams params = forkBenchByName("lbm");
     params.postForkInstructions = 2'000'000;
 
-    for (unsigned entries : {4u, 16u, 64u, 256u}) {
-        SystemConfig cfg;
-        cfg.writeBufferEntries = entries;
-        ForkBenchResult cow =
-            runForkBench(params, ForkMode::CopyOnWrite, cfg);
-        ForkBenchResult oow =
-            runForkBench(params, ForkMode::OverlayOnWrite, cfg);
-        std::printf("%10u %16.3f %16.3f%s\n", entries, cow.cpi, oow.cpi,
-                    entries == 64 ? "   <- Table 2" : "");
+    const unsigned entries[] = {4u, 16u, 64u, 256u};
+
+    struct Row
+    {
+        ForkBenchResult cow, oow;
+    };
+    std::vector<Row> rows = parallelMap(
+        std::size(entries),
+        [&entries, &params](std::size_t i) {
+            SystemConfig cfg;
+            cfg.writeBufferEntries = entries[i];
+            Row row;
+            row.cow = runForkBench(params, ForkMode::CopyOnWrite, cfg);
+            row.oow = runForkBench(params, ForkMode::OverlayOnWrite, cfg);
+            return row;
+        },
+        jobs);
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::printf("%10u %16.3f %16.3f%s\n", entries[i], rows[i].cow.cpi,
+                    rows[i].oow.cpi,
+                    entries[i] == 64 ? "   <- Table 2" : "");
     }
 
     std::printf("\nUnder drain-when-full [34], buffer size trades drain"

@@ -3,18 +3,26 @@
  * Figure 9: performance (cycles per instruction, lower is better) after
  * a fork — copy-on-write vs overlay-on-write across the 15-benchmark
  * suite. The paper measures a 15% average performance improvement.
+ *
+ * The 30 System runs (15 benchmarks x 2 fork modes) are independent, so
+ * they fan out over the parallel sweep runner (`--jobs N`, OVL_JOBS);
+ * rows render in suite order afterwards, byte-identical to `--jobs 1`.
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "sim/parallel.hh"
 #include "system/config.hh"
 #include "workload/forkbench.hh"
 
 using namespace ovl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = jobsFromCommandLine(argc, argv);
+
     std::printf("Figure 9: CPI after a fork (lower is better)\n\n");
     std::printf("%-10s %-5s %14s %16s %9s\n", "benchmark", "type",
                 "copy-on-write", "overlay-on-write", "speedup");
@@ -22,17 +30,28 @@ main()
                 "------------------------------------------------------"
                 "----");
 
+    // Item 2i is benchmark i under CoW, item 2i+1 under OoW: one System
+    // per item for the best load balance across workers.
+    const std::vector<ForkBenchParams> &suite = forkBenchSuite();
+    std::vector<ForkBenchResult> results = parallelMap(
+        suite.size() * 2,
+        [&suite](std::size_t i) {
+            ForkMode mode = i % 2 ? ForkMode::OverlayOnWrite
+                                  : ForkMode::CopyOnWrite;
+            return runForkBench(suite[i / 2], mode, SystemConfig{});
+        },
+        jobs);
+
     double speedup_sum = 0;
     unsigned count = 0, last_type = 0;
-    for (const ForkBenchParams &params : forkBenchSuite()) {
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const ForkBenchParams &params = suite[i];
         if (params.type != last_type) {
             std::printf("-- Type %u --\n", params.type);
             last_type = params.type;
         }
-        ForkBenchResult cow =
-            runForkBench(params, ForkMode::CopyOnWrite, SystemConfig{});
-        ForkBenchResult oow =
-            runForkBench(params, ForkMode::OverlayOnWrite, SystemConfig{});
+        const ForkBenchResult &cow = results[2 * i];
+        const ForkBenchResult &oow = results[2 * i + 1];
         double speedup = cow.cpi / oow.cpi;
         std::printf("%-10s %-5u %14.3f %16.3f %8.3fx\n",
                     params.name.c_str(), params.type, cow.cpi, oow.cpi,

@@ -5,6 +5,9 @@
  * that the overlay representation outperforms the dense-matrix
  * representation at every sparsity level, with the gap growing linearly
  * in the fraction of zero lines.
+ *
+ * The 11 sparsity points are independent (a dense and an overlay System
+ * each) and fan out over the parallel sweep runner (`--jobs N`).
  */
 
 #include <cstdio>
@@ -12,15 +15,63 @@
 
 #include "common/random.hh"
 #include "cpu/ooo_core.hh"
+#include "sim/parallel.hh"
 #include "sparse/overlay_matrix.hh"
 #include "sparse/spmv.hh"
 #include "workload/matrixgen.hh"
 
 using namespace ovl;
 
-int
-main()
+namespace
 {
+
+constexpr std::uint32_t kRows = 512, kCols = 512;
+
+struct Point
+{
+    Tick denseCycles = 0;
+    Tick overlayCycles = 0;
+};
+
+Point
+runOne(int pct)
+{
+    CooMatrix coo =
+        generateUniformSparsity(kRows, kCols, pct / 100.0, 99 + pct);
+    std::vector<double> x(kCols);
+    Rng rng(5);
+    for (double &v : x)
+        v = rng.uniform();
+
+    SpmvAddrs addrs;
+
+    System dense_sys((SystemConfig()));
+    OooCore dense_core("core", dense_sys);
+    Asid dense_asid = dense_sys.createProcess();
+    installVectors(dense_sys, dense_asid, addrs, x, kRows);
+    installDense(dense_sys, dense_asid, addrs.aBase, coo);
+    dense_sys.quiesce();
+    SpmvResult dense = spmvDense(dense_sys, dense_core, dense_asid, addrs,
+                                 DenseLayout(kRows, kCols), x, 0);
+
+    System ovl_sys((SystemConfig()));
+    OooCore ovl_core("core", ovl_sys);
+    Asid ovl_asid = ovl_sys.createProcess();
+    installVectors(ovl_sys, ovl_asid, addrs, x, kRows);
+    OverlayMatrix matrix(ovl_sys, ovl_asid, addrs.aBase);
+    matrix.build(coo);
+    SpmvResult overlay = spmvOverlay(ovl_sys, ovl_core, matrix, addrs, x, 0);
+
+    return Point{dense.cycles, overlay.cycles};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = jobsFromCommandLine(argc, argv);
+
     std::printf("Random-sparsity sweep: overlay representation vs dense"
                 " representation (SpMV)\n\n");
     std::printf("%12s %16s %16s %10s\n", "zero lines", "dense cycles",
@@ -29,40 +80,15 @@ main()
                 "------------------------------------------------------"
                 "----");
 
-    constexpr std::uint32_t kRows = 512, kCols = 512;
-    for (int pct = 0; pct <= 100; pct += 10) {
-        CooMatrix coo =
-            generateUniformSparsity(kRows, kCols, pct / 100.0, 99 + pct);
-        std::vector<double> x(kCols);
-        Rng rng(5);
-        for (double &v : x)
-            v = rng.uniform();
+    std::vector<Point> points = parallelMap(
+        11, [](std::size_t i) { return runOne(int(i) * 10); }, jobs);
 
-        SpmvAddrs addrs;
-
-        System dense_sys((SystemConfig()));
-        OooCore dense_core("core", dense_sys);
-        Asid dense_asid = dense_sys.createProcess();
-        installVectors(dense_sys, dense_asid, addrs, x, kRows);
-        installDense(dense_sys, dense_asid, addrs.aBase, coo);
-        dense_sys.quiesce();
-        SpmvResult dense = spmvDense(dense_sys, dense_core, dense_asid,
-                                     addrs, DenseLayout(kRows, kCols), x,
-                                     0);
-
-        System ovl_sys((SystemConfig()));
-        OooCore ovl_core("core", ovl_sys);
-        Asid ovl_asid = ovl_sys.createProcess();
-        installVectors(ovl_sys, ovl_asid, addrs, x, kRows);
-        OverlayMatrix matrix(ovl_sys, ovl_asid, addrs.aBase);
-        matrix.build(coo);
-        SpmvResult overlay =
-            spmvOverlay(ovl_sys, ovl_core, matrix, addrs, x, 0);
-
-        std::printf("%11d%% %16llu %16llu %9.2fx\n", pct,
-                    (unsigned long long)dense.cycles,
-                    (unsigned long long)overlay.cycles,
-                    double(dense.cycles) / double(overlay.cycles));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &pt = points[i];
+        std::printf("%11d%% %16llu %16llu %9.2fx\n", int(i) * 10,
+                    (unsigned long long)pt.denseCycles,
+                    (unsigned long long)pt.overlayCycles,
+                    double(pt.denseCycles) / double(pt.overlayCycles));
     }
 
     std::printf("\nPaper: overlays outperform the dense representation at"

@@ -5,22 +5,69 @@
  * stores only the non-zero values, with CSR as the software reference.
  * Reproduces the paper's two findings: page-granularity management
  * costs ~53x, and sub-64 B granularities beat CSR on more matrices.
+ *
+ * The 87 per-matrix analyses are independent and fan out over the
+ * parallel sweep runner (`--jobs N`); the crossover/mean accumulators
+ * run in L order during rendering, so output is byte-identical to the
+ * serial run.
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "sim/parallel.hh"
 #include "sparse/csr.hh"
 #include "sparse/matrix.hh"
 #include "workload/matrixgen.hh"
 
 using namespace ovl;
 
-int
-main()
+namespace
 {
-    const std::uint64_t kBlocks[] = {16, 32, 64, 256, 1024, 4096};
-    constexpr unsigned kNumBlocks = 6;
+
+constexpr std::uint64_t kBlocks[] = {16, 32, 64, 256, 1024, 4096};
+constexpr unsigned kNumBlocks = 6;
+
+struct Row
+{
+    std::string name;
+    double locality = 0;
+    double csrOverhead = 0;
+    double overhead[kNumBlocks] = {};
+};
+
+Row
+analyzeOne(MatrixSpec spec)
+{
+    // Figure 11 is a static analysis (no simulation), so use a
+    // geometry closer to the UF matrices' sparsity: the same
+    // non-zero budget over a 9x larger dense space.
+    spec.rows = 3072;
+    spec.cols = 3072;
+    CooMatrix coo = generateMatrix(spec);
+    MatrixStats line_stats = analyzeMatrix(coo, kLineSize);
+    double ideal = double(line_stats.nnz) * 8.0;
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+
+    Row row;
+    row.name = coo.name;
+    row.locality = line_stats.locality;
+    row.csrOverhead = double(csr.bytes()) / ideal;
+    for (unsigned i = 0; i < kNumBlocks; ++i) {
+        MatrixStats stats = analyzeMatrix(coo, kBlocks[i]);
+        row.overhead[i] =
+            double(stats.nonZeroBlocks) * double(kBlocks[i]) / ideal;
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = jobsFromCommandLine(argc, argv);
 
     std::printf("Figure 11: memory overhead vs 'ideal' (non-zero values"
                 " only), 87 matrices sorted by L\n\n");
@@ -31,6 +78,11 @@ main()
                 "------------------------------------------------------"
                 "------------------------------");
 
+    const std::vector<MatrixSpec> suite = sparseSuite87();
+    std::vector<Row> rows = parallelMap(
+        suite.size(),
+        [&suite](std::size_t i) { return analyzeOne(suite[i]); }, jobs);
+
     double sum_overhead[kNumBlocks] = {};
     unsigned beats_csr[kNumBlocks] = {};
     double crossover_l[kNumBlocks];
@@ -38,32 +90,18 @@ main()
         crossover_l[i] = -1.0;
     unsigned count = 0;
 
-    for (MatrixSpec spec : sparseSuite87()) {
-        // Figure 11 is a static analysis (no simulation), so use a
-        // geometry closer to the UF matrices' sparsity: the same
-        // non-zero budget over a 9x larger dense space.
-        spec.rows = 3072;
-        spec.cols = 3072;
-        CooMatrix coo = generateMatrix(spec);
-        MatrixStats line_stats = analyzeMatrix(coo, kLineSize);
-        double ideal = double(line_stats.nnz) * 8.0;
-        CsrMatrix csr = CsrMatrix::fromCoo(coo);
-        double csr_overhead = double(csr.bytes()) / ideal;
-
-        std::printf("%-22s %6.2f %6.2f", coo.name.c_str(),
-                    line_stats.locality, csr_overhead);
+    for (const Row &row : rows) {
+        std::printf("%-22s %6.2f %6.2f", row.name.c_str(), row.locality,
+                    row.csrOverhead);
         for (unsigned i = 0; i < kNumBlocks; ++i) {
-            MatrixStats stats = analyzeMatrix(coo, kBlocks[i]);
-            double overhead =
-                double(stats.nonZeroBlocks) * double(kBlocks[i]) / ideal;
-            std::printf(" %7.2f", overhead);
-            sum_overhead[i] += overhead;
-            if (overhead < csr_overhead) {
+            std::printf(" %7.2f", row.overhead[i]);
+            sum_overhead[i] += row.overhead[i];
+            if (row.overhead[i] < row.csrOverhead) {
                 ++beats_csr[i];
                 // First (lowest-L) matrix where this granularity wins:
                 // the circled crossover points of Figure 11.
                 if (crossover_l[i] < 0)
-                    crossover_l[i] = line_stats.locality;
+                    crossover_l[i] = row.locality;
             }
         }
         std::printf("\n");

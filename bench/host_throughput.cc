@@ -8,21 +8,30 @@
  * modeling and gem5-class simulators to sampled slices.
  *
  * Output: BENCH_throughput.json (schema: workload -> {accesses, seconds,
- * Maccess_per_s, simulated_ticks}). simulated_ticks is a determinism
- * fingerprint: a host-side optimization must not move it by a single
- * tick (scripts/bench_compare.py diffs two runs and flags regressions).
+ * Maccess_per_s, simulated_ticks, jobs, wall_seconds}). simulated_ticks
+ * is a determinism fingerprint: a host-side optimization must not move
+ * it by a single tick (scripts/bench_compare.py diffs two runs and flags
+ * regressions). jobs records how many worker threads ran the workloads
+ * and wall_seconds the whole-run wall-clock; per-workload Maccess_per_s
+ * is only comparable between runs with equal jobs (workloads contend for
+ * cores when jobs > 1), so bench_compare.py skips the throughput gate on
+ * a jobs mismatch but always checks simulated_ticks.
  *
- * Usage: host_throughput [-o out.json] [--scale N]
+ * Usage: host_throughput [-o out.json] [--scale N] [--jobs N]
  *   --scale multiplies every workload's access count (default 1).
+ *   --jobs runs the five workloads on N worker threads (default 1:
+ *     serial, the measurement-isolation default for this harness).
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "common/random.hh"
+#include "sim/parallel.hh"
 #include "system/system.hh"
 
 using namespace ovl;
@@ -197,7 +206,8 @@ forkCow(std::uint64_t accesses)
 }
 
 void
-writeJson(const std::vector<Result> &results, const std::string &path)
+writeJson(const std::vector<Result> &results, const std::string &path,
+          unsigned jobs, double wall_seconds)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -210,10 +220,12 @@ writeJson(const std::vector<Result> &results, const std::string &path)
         double maps = double(r.accesses) / r.seconds / 1e6;
         std::fprintf(f,
                      "  \"%s\": {\"accesses\": %llu, \"seconds\": %.6f, "
-                     "\"Maccess_per_s\": %.3f, \"simulated_ticks\": %llu}%s\n",
+                     "\"Maccess_per_s\": %.3f, \"simulated_ticks\": %llu, "
+                     "\"jobs\": %u, \"wall_seconds\": %.6f}%s\n",
                      r.workload.c_str(),
                      (unsigned long long)r.accesses, r.seconds, maps,
-                     (unsigned long long)r.simulatedTicks,
+                     (unsigned long long)r.simulatedTicks, jobs,
+                     wall_seconds,
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "}\n");
@@ -227,24 +239,45 @@ main(int argc, char **argv)
 {
     std::string out = "BENCH_throughput.json";
     std::uint64_t scale = 1;
+    // Unlike the sweep benches, this harness measures host throughput,
+    // so it defaults to jobs=1 (serial) for measurement isolation.
+    unsigned jobs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
             out = argv[++i];
         } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
             scale = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+            if (jobs == 0) {
+                std::fprintf(stderr, "%s: invalid --jobs value\n",
+                             argv[0]);
+                return 1;
+            }
         } else {
             std::fprintf(stderr,
-                         "usage: %s [-o out.json] [--scale N]\n", argv[0]);
+                         "usage: %s [-o out.json] [--scale N] [--jobs N]\n",
+                         argv[0]);
             return 1;
         }
     }
 
-    std::vector<Result> results;
-    results.push_back(seqRead(4'000'000 * scale));
-    results.push_back(seqWrite(4'000'000 * scale));
-    results.push_back(randomMix(2'000'000 * scale));
-    results.push_back(sparseSpmv(2'000'000 * scale));
-    results.push_back(forkCow(1'000'000 * scale));
+    Result (*const workloads[])(std::uint64_t) = {
+        seqRead, seqWrite, randomMix, sparseSpmv, forkCow,
+    };
+    const std::uint64_t counts[] = {
+        4'000'000 * scale, 4'000'000 * scale, 2'000'000 * scale,
+        2'000'000 * scale, 1'000'000 * scale,
+    };
+
+    auto wall_start = Clock::now();
+    std::vector<Result> results = parallelMap(
+        std::size(workloads),
+        [&workloads, &counts](std::size_t i) {
+            return workloads[i](counts[i]);
+        },
+        jobs);
+    double wall_seconds = elapsed(wall_start);
 
     std::printf("%-12s %12s %9s %14s %18s\n", "workload", "accesses",
                 "seconds", "Maccess/s", "simulated_ticks");
@@ -254,7 +287,8 @@ main(int argc, char **argv)
                     r.seconds, double(r.accesses) / r.seconds / 1e6,
                     (unsigned long long)r.simulatedTicks);
     }
-    writeJson(results, out);
+    std::printf("%-12s jobs=%u wall=%.3fs\n", "(run)", jobs, wall_seconds);
+    writeJson(results, out, jobs, wall_seconds);
     std::printf("\nwrote %s\n", out.c_str());
     return 0;
 }

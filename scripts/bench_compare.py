@@ -9,6 +9,14 @@ delta. A workload whose throughput drops by more than the threshold
 (default 5%) is a regression; any change in simulated_ticks is a
 determinism break (the optimizations this harness guards must not move
 the timing model by a single tick). Exits non-zero on either.
+
+Workload sets may differ between the two files: a workload present in
+only one side is reported as "missing in baseline" / "missing in
+candidate" and fails the comparison, rather than raising. If the two
+runs used different --jobs counts, host throughput is not comparable
+(workloads contend for cores when jobs > 1), so the throughput gate is
+skipped with a note — the simulated_ticks determinism check still
+applies.
 """
 
 import argparse
@@ -32,30 +40,51 @@ def main():
     failed = False
     print(f"{'workload':<14}{'base MA/s':>12}{'cand MA/s':>12}"
           f"{'delta':>9}  notes")
-    for name in base:
+    # Stable iteration over the union: baseline order first, then any
+    # candidate-only workloads in their own order.
+    names = list(base) + [n for n in cand if n not in base]
+    for name in names:
         if name not in cand:
-            print(f"{name:<14}{'':>12}{'missing':>12}")
+            print(f"{name:<14}{'':>12}{'':>12}{'':>9}  "
+                  f"missing in candidate")
+            failed = True
+            continue
+        if name not in base:
+            cm = cand[name].get("Maccess_per_s", float("nan"))
+            print(f"{name:<14}{'':>12}{cm:>12.3f}{'':>9}  "
+                  f"missing in baseline (new workload)")
             failed = True
             continue
         b, c = base[name], cand[name]
-        bm, cm = b["Maccess_per_s"], c["Maccess_per_s"]
-        delta = (cm - bm) / bm * 100.0
+        bm = b.get("Maccess_per_s")
+        cm = c.get("Maccess_per_s")
         notes = []
-        if delta < -args.threshold:
-            notes.append(f"REGRESSION (> {args.threshold:g}% slower)")
+        # Older files predate the jobs field; treat absent as jobs=1.
+        b_jobs = b.get("jobs", 1)
+        c_jobs = c.get("jobs", 1)
+        if bm is None or cm is None:
+            delta_text = f"{'n/a':>9}"
+            notes.append("Maccess_per_s missing")
             failed = True
+        else:
+            delta = (cm - bm) / bm * 100.0
+            delta_text = f"{delta:>+8.1f}%"
+            if b_jobs != c_jobs:
+                notes.append(f"jobs differ ({b_jobs} vs {c_jobs}); "
+                             f"throughput gate skipped")
+            elif delta < -args.threshold:
+                notes.append(f"REGRESSION (> {args.threshold:g}% slower)")
+                failed = True
         if (b.get("simulated_ticks") is not None
                 and c.get("simulated_ticks") is not None
-                and b["accesses"] == c["accesses"]
+                and b.get("accesses") == c.get("accesses")
                 and b["simulated_ticks"] != c["simulated_ticks"]):
             notes.append("DETERMINISM BREAK (simulated_ticks moved)")
             failed = True
-        print(f"{name:<14}{bm:>12.3f}{cm:>12.3f}{delta:>+8.1f}%  "
+        bm_text = f"{bm:>12.3f}" if bm is not None else f"{'n/a':>12}"
+        cm_text = f"{cm:>12.3f}" if cm is not None else f"{'n/a':>12}"
+        print(f"{name:<14}{bm_text}{cm_text}{delta_text}  "
               f"{'; '.join(notes)}")
-    for name in cand:
-        if name not in base:
-            print(f"{name:<14}{'(new)':>12}"
-                  f"{cand[name]['Maccess_per_s']:>12.3f}")
 
     return 1 if failed else 0
 

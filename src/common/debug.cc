@@ -1,9 +1,11 @@
 #include "debug.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace ovl::debug
 {
@@ -18,7 +20,10 @@ const char *const kFlagNames[kNumFlags] = {
 };
 
 bool gFlags[kNumFlags] = {};
-bool gEnvParsed = false;
+// Once set (with release ordering), gFlags is read-only: enabled() from
+// worker threads is then a race-free acquire load + array read. Writers
+// (setFlag/enableFromList) remain main-thread-only, before workers start.
+std::atomic<bool> gInitialized{false};
 
 } // namespace
 
@@ -31,7 +36,7 @@ flagName(Flag flag)
 bool
 enabled(Flag flag)
 {
-    if (!gEnvParsed)
+    if (!gInitialized.load(std::memory_order_acquire))
         initFromEnvironment();
     return gFlags[unsigned(flag)];
 }
@@ -39,14 +44,14 @@ enabled(Flag flag)
 void
 setFlag(Flag flag, bool on)
 {
-    gEnvParsed = true; // explicit control overrides lazy env parsing
     gFlags[unsigned(flag)] = on;
+    // Explicit control overrides lazy env parsing.
+    gInitialized.store(true, std::memory_order_release);
 }
 
 void
 enableFromList(const std::string &list)
 {
-    gEnvParsed = true;
     std::size_t pos = 0;
     while (pos < list.size()) {
         std::size_t comma = list.find(',', pos);
@@ -75,15 +80,23 @@ enableFromList(const std::string &list)
                          name.c_str());
         }
     }
+    gInitialized.store(true, std::memory_order_release);
 }
 
 void
 initFromEnvironment()
 {
-    gEnvParsed = true;
+    // Idempotent and callable from multiple threads: the first caller
+    // parses OVL_DEBUG, later callers (and losers of the race) return
+    // without touching the flag table.
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (gInitialized.load(std::memory_order_relaxed))
+        return;
     const char *env = std::getenv("OVL_DEBUG");
     if (env != nullptr && *env != '\0')
         enableFromList(env);
+    gInitialized.store(true, std::memory_order_release);
 }
 
 void

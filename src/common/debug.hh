@@ -7,6 +7,13 @@
  * check, so trace points can live on hot paths.
  *
  *     ovl_trace(overlay, "opn %llx line %u moved", opn, line);
+ *
+ * Thread-safety: the flag table is the one process-global the simulator
+ * reads. initFromEnvironment() is idempotent and safe to call from any
+ * thread (the parallel sweep runner calls it before spawning workers);
+ * after it has run, enabled() is a race-free read. setFlag() and
+ * enableFromList() are writers and must only be called when no worker
+ * threads are running (DESIGN.md §8).
  */
 
 #ifndef OVERLAYSIM_COMMON_DEBUG_HH
@@ -43,7 +50,11 @@ void setFlag(Flag flag, bool on);
  */
 void enableFromList(const std::string &list);
 
-/** Parse OVL_DEBUG once (called lazily by enabled()). */
+/**
+ * Parse OVL_DEBUG once (called lazily by enabled()). Idempotent and
+ * thread-safe: repeat calls return without re-parsing, so flags set
+ * programmatically beforehand survive.
+ */
 void initFromEnvironment();
 
 /** Emit one trace line: `flag: message`. */

@@ -1,0 +1,72 @@
+#include "parallel.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/debug.hh"
+
+namespace ovl
+{
+
+unsigned
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+unsigned
+defaultJobs()
+{
+    const char *env = std::getenv("OVL_JOBS");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != nullptr && *end == '\0' && v >= 1)
+            return unsigned(v);
+        std::fprintf(stderr, "warn: ignoring invalid OVL_JOBS='%s'\n", env);
+    }
+    return hardwareJobs();
+}
+
+unsigned
+jobsFromCommandLine(int argc, char **argv)
+{
+    unsigned jobs = defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        const char *value = nullptr;
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            value = argv[++i];
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            value = argv[i] + 7;
+        } else {
+            std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+            std::exit(1);
+        }
+        char *end = nullptr;
+        unsigned long v = std::strtoul(value, &end, 10);
+        if (end == nullptr || *end != '\0' || v < 1) {
+            std::fprintf(stderr, "%s: invalid --jobs value '%s'\n", argv[0],
+                         value);
+            std::exit(1);
+        }
+        jobs = unsigned(v);
+    }
+    return jobs;
+}
+
+namespace detail
+{
+
+void
+prepareForWorkers()
+{
+    // The debug-flag table is the one process-global the workers read;
+    // parse OVL_DEBUG now so no worker triggers the lazy init.
+    debug::initFromEnvironment();
+}
+
+} // namespace detail
+
+} // namespace ovl

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parallel sweep runner: fan N independent config→result closures across
+ * a fixed pool of worker threads and return the results in input order.
+ *
+ * The evaluation sweeps (the 15-benchmark fork suite, the 87-matrix
+ * L-sweep, the ablation grids) are embarrassingly parallel per data
+ * point: each point is a fully self-contained `System` with its own
+ * EventQueue, stats Groups, DRAM and caches, and its simulated timing is
+ * deterministic per instance (DESIGN.md §7). parallelMap exploits that:
+ * workers share *nothing* but the read-only inputs, results land in a
+ * pre-sized vector slot per item, and the caller renders output only
+ * after the map returns — so a bench's stdout and JSON are byte-identical
+ * to the serial run regardless of the job count.
+ *
+ * Thread-safety boundary (DESIGN.md §8): everything reachable from a
+ * `System` is per-instance. The only process-global mutable state in the
+ * simulator is the debug-trace flag table (`common/debug.hh`), which
+ * parallelMap force-initializes before spawning workers; lazily-built
+ * suite singletons (e.g. forkBenchSuite()) use function-local statics,
+ * whose initialization C++11 already serializes. Callers must not
+ * enable/disable debug flags from inside worker closures.
+ */
+
+#ifndef OVERLAYSIM_SIM_PARALLEL_HH
+#define OVERLAYSIM_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ovl
+{
+
+/** Worker count of the host: hardware_concurrency, at least 1. */
+unsigned hardwareJobs();
+
+/**
+ * The default job count of every sweep bench: the OVL_JOBS environment
+ * variable when set (and >= 1), otherwise hardwareJobs(). `OVL_JOBS=1`
+ * forces the serial path everywhere without editing command lines.
+ */
+unsigned defaultJobs();
+
+/**
+ * Shared `--jobs N` flag of the sweep benches. Accepts `--jobs N` and
+ * `--jobs=N`; no flag means defaultJobs(). Unknown arguments print a
+ * usage line and exit(1).
+ */
+unsigned jobsFromCommandLine(int argc, char **argv);
+
+namespace detail
+{
+/** One-time init of process-global state workers may read (debug flags). */
+void prepareForWorkers();
+} // namespace detail
+
+/**
+ * Run `fn(0) .. fn(num_items - 1)` on a fixed pool of @p jobs worker
+ * threads and return the results in input order. `fn` must be callable
+ * from any thread with `std::size_t` and return a default-constructible,
+ * movable value; closures must not touch shared mutable state (give each
+ * item its own System/Rng). With `jobs <= 1` (or a single item) the
+ * calls run inline on the calling thread, in index order — exactly the
+ * serial behaviour.
+ *
+ * Items are handed out through a shared atomic cursor, so slow items
+ * don't leave workers idle behind a static partition. If any closure
+ * throws, every item still completes (or fails) and the exception of the
+ * lowest-index failed item is rethrown on the calling thread.
+ */
+template <typename Fn>
+auto
+parallelMap(std::size_t num_items, Fn &&fn, unsigned jobs)
+    -> std::vector<decltype(fn(std::size_t(0)))>
+{
+    using Result = decltype(fn(std::size_t(0)));
+    std::vector<Result> results(num_items);
+    if (num_items == 0)
+        return results;
+
+    std::size_t workers = jobs > 1 ? std::min<std::size_t>(jobs, num_items)
+                                   : 1;
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < num_items; ++i)
+            results[i] = fn(i);
+        return results;
+    }
+
+    detail::prepareForWorkers();
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::exception_ptr> errors(num_items);
+    auto drain = [&] {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= num_items)
+                return;
+            try {
+                results[i] = fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w)
+        pool.emplace_back(drain);
+    drain(); // the calling thread is worker 0
+    for (std::thread &t : pool)
+        t.join();
+
+    for (std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
+}
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_SIM_PARALLEL_HH

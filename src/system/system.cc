@@ -230,19 +230,17 @@ System::serviceCowFault(Asid asid, Addr vaddr, TlbEntryData *&entry,
 }
 
 void
-System::overlayLineFunctional(Asid asid, Addr vaddr, const Pte &pte)
+System::overlayLineFunctional(Opn opn, unsigned line, Addr phys_line_addr)
 {
     // Functional half of the overlaying write: the line's current
     // contents move from the regular physical page into the overlay.
-    unsigned line = lineInPage(vaddr);
-    Opn opn = overlay_addr::pageFromVirtual(asid, pageNumber(vaddr));
     LineData data;
-    physMem_.readLine(physLineAddr(pte.ppn, vaddr), data);
+    physMem_.readLine(phys_line_addr, data);
     overlayMgr_.writeLineData(opn, line, data);
 }
 
 Tick
-System::broadcastOre(Asid asid, Addr vpn, unsigned line, Tick t)
+System::broadcastOre(Asid asid, Addr vpn, Opn opn, unsigned line, Tick t)
 {
     // The overlaying-read-exclusive message travels the coherence
     // network: every TLB holding the mapping flips one OBitVector bit,
@@ -259,7 +257,6 @@ System::broadcastOre(Asid asid, Addr vpn, unsigned line, Tick t)
     t = ore_done;
     for (auto &tlb : tlbs_)
         tlb->updateObvBit(asid, vpn, line, true);
-    Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
     overlayMgr_.overlayingReadExclusive(opn, line, t);
     return t;
 }
@@ -274,13 +271,17 @@ System::serviceOverlayingWrite(Asid asid, Addr vaddr, TlbEntryData *entry,
               unsigned(asid), (unsigned long long)vaddr,
               lineInPage(vaddr), (unsigned long long)t);
 
+    // Derive the page's identities once; every step below (functional
+    // move, retag, ORE broadcast, OMT update) shares them instead of
+    // re-running resolve()/pageFromVirtual() per step.
     Addr vpn = pageNumber(vaddr);
     unsigned line = lineInPage(vaddr);
     Pte *pte = vmm_.resolve(asid, vpn);
+    Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
     Addr pline = physLineAddr(pte->ppn, vaddr);
-    Addr oline = overlayLineAddr(asid, vaddr);
+    Addr oline = (opn << kPageShift) | (Addr(line) << kLineShift);
 
-    overlayLineFunctional(asid, vaddr, *pte);
+    overlayLineFunctional(opn, line, pline);
 
     // Step 1 (§4.3.3): move the line's data into the overlay address —
     // in hardware, a cache tag update when the line is resident, or a
@@ -291,7 +292,7 @@ System::serviceOverlayingWrite(Asid asid, Addr vaddr, TlbEntryData *entry,
     }
 
     // Step 2: keep TLBs and the OMT coherent with one message.
-    t = broadcastOre(asid, vpn, line, t);
+    t = broadcastOre(asid, vpn, opn, line, t);
 
     // OS promotion policy (§4.3.4): convert densely-overlaid pages back
     // to regular pages.
@@ -359,7 +360,7 @@ System::poke(Asid asid, Addr vaddr, const void *data, std::size_t len)
         if (pte->cow && use_overlay &&
             !overlayMgr_.obitvector(opn).test(line)) {
             // Functional overlaying write (no timing charge).
-            overlayLineFunctional(asid, vaddr, *pte);
+            overlayLineFunctional(opn, line, physLineAddr(pte->ppn, vaddr));
             for (auto &tlb : tlbs_)
                 tlb->updateObvBit(asid, vpn, line, true);
         } else if (pte->cow && !use_overlay) {
@@ -423,13 +424,15 @@ System::metadataAccess(Asid asid, Addr vaddr, bool is_write, Tick when)
     TlbEntryData *entry = translate(asid, vpn, t, nullptr);
     ovl_assert(entry->metadataMode && entry->overlayEnabled,
                "metadata access to a page not in metadata mode");
+    Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
     if (is_write) {
         // First store to a shadow line maps it (same ORE protocol).
         unsigned line = lineInPage(vaddr);
         if (!entry->obv.test(line))
-            t = broadcastOre(asid, vpn, line, t);
+            t = broadcastOre(asid, vpn, opn, line, t);
     }
-    return caches_.access(overlayLineAddr(asid, vaddr), is_write, t);
+    Addr oline = (opn << kPageShift) | (pageOffset(vaddr) & ~kLineMask);
+    return caches_.access(oline, is_write, t);
 }
 
 void

@@ -266,11 +266,17 @@ class System : public SimObject
     Tick serviceOverlayingWrite(Asid asid, Addr vaddr, TlbEntryData *entry,
                                 Tick t, AccessOutcome *outcome);
 
-    /** Functional half of an overlaying write (shared with poke()). */
-    void overlayLineFunctional(Asid asid, Addr vaddr, const Pte &pte);
+    /**
+     * Functional half of an overlaying write (shared with poke()): the
+     * line's current contents move from @p phys_line_addr into
+     * (@p opn, @p line). Callers pass the already-derived OPN and
+     * physical line address so the resolve/pageFromVirtual work is done
+     * once per overlaying write.
+     */
+    void overlayLineFunctional(Opn opn, unsigned line, Addr phys_line_addr);
 
     /** Broadcast an ORE message to every TLB + the OMT (§4.3.3). */
-    Tick broadcastOre(Asid asid, Addr vpn, unsigned line, Tick t);
+    Tick broadcastOre(Asid asid, Addr vpn, Opn opn, unsigned line, Tick t);
 
     SystemConfig config_;
     PhysicalMemory physMem_;

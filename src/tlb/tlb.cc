@@ -30,8 +30,10 @@ Tlb::probe(Asid asid, Addr vpn) const
 void
 Tlb::invalidate(Asid asid, Addr vpn)
 {
-    if (Way *way = findWay(asid, vpn))
+    if (Way *way = findWay(asid, vpn)) {
         way->valid = false;
+        noteErased(asid);
+    }
 }
 
 void
@@ -41,6 +43,8 @@ Tlb::invalidateAsid(Asid asid)
         if (way.valid && way.asid == asid)
             way.valid = false;
     }
+    if (asid < asidEntries_.size())
+        asidEntries_[asid] = 0;
 }
 
 void
@@ -48,11 +52,14 @@ Tlb::flush()
 {
     for (Way &way : ways_)
         way.valid = false;
+    asidEntries_.assign(asidEntries_.size(), 0);
 }
 
 bool
 Tlb::updateObvBit(Asid asid, Addr vpn, unsigned line_in_page, bool value)
 {
+    if (!holdsAsid(asid))
+        return false;
     if (Way *way = findWay(asid, vpn)) {
         way->data.obv.assign(line_in_page, value);
         ++coherenceUpdates_;
@@ -101,6 +108,9 @@ bool
 TwoLevelTlb::updateObvBit(Asid asid, Addr vpn, unsigned line_in_page,
                           bool value)
 {
+    // Each level's holdsAsid() filter makes this a cheap no-op on TLBs
+    // that never cached the process — the common case for the other
+    // cores' TLBs during an ORE broadcast (§4.3.3).
     bool upper = l1_.updateObvBit(asid, vpn, line_in_page, value);
     bool lower = l2_.updateObvBit(asid, vpn, line_in_page, value);
     return upper || lower;

@@ -95,11 +95,25 @@ class Tlb : public SimObject
             if (set[w].lruSeq < victim->lruSeq)
                 victim = &set[w];
         }
+        if (victim->valid)
+            noteErased(victim->asid);
+        noteInserted(asid);
         victim->valid = true;
         victim->asid = asid;
         victim->vpn = vpn;
         victim->data = data;
         victim->lruSeq = ++lruCounter_;
+    }
+
+    /**
+     * True if any entry of @p asid is resident. O(1): coherence
+     * broadcasts (ORE messages, reclaim) use this to skip TLBs that
+     * provably cannot hold the mapping, without probing their sets.
+     */
+    bool
+    holdsAsid(Asid asid) const
+    {
+        return asid < asidEntries_.size() && asidEntries_[asid] != 0;
     }
 
     /** Drop one translation (remap / shootdown). */
@@ -136,6 +150,16 @@ class Tlb : public SimObject
 
     unsigned setOf(Addr vpn) const { return unsigned(vpn) & (numSets_ - 1); }
 
+    void
+    noteInserted(Asid asid)
+    {
+        if (asid >= asidEntries_.size())
+            asidEntries_.resize(std::size_t(asid) + 1, 0);
+        ++asidEntries_[asid];
+    }
+
+    void noteErased(Asid asid) { --asidEntries_[asid]; }
+
     Way *
     findWay(Asid asid, Addr vpn)
     {
@@ -151,6 +175,8 @@ class Tlb : public SimObject
     unsigned numSets_;
     std::vector<Way> ways_;
     std::uint64_t lruCounter_ = 0;
+    /** Resident-entry count per ASID, backing holdsAsid(). */
+    std::vector<std::uint32_t> asidEntries_;
 
     stats::Counter hits_;
     stats::Counter misses_;

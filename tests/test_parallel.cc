@@ -1,0 +1,174 @@
+/** @file Tests for the parallel sweep runner (src/sim/parallel.hh). */
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/parallel.hh"
+#include "workload/forkbench.hh"
+
+using namespace ovl;
+
+TEST(Parallel, EmptyInputReturnsEmpty)
+{
+    std::vector<int> serial =
+        parallelMap(0, [](std::size_t) { return 1; }, 1);
+    EXPECT_TRUE(serial.empty());
+    std::vector<int> parallel =
+        parallelMap(0, [](std::size_t) { return 1; }, 8);
+    EXPECT_TRUE(parallel.empty());
+}
+
+TEST(Parallel, SingleItemRunsInline)
+{
+    std::vector<std::size_t> out =
+        parallelMap(1, [](std::size_t i) { return i + 41; }, 8);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 41u);
+}
+
+TEST(Parallel, ResultsAreInInputOrder)
+{
+    constexpr std::size_t kItems = 257;
+    auto square = [](std::size_t i) { return i * i; };
+    std::vector<std::size_t> serial = parallelMap(kItems, square, 1);
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        std::vector<std::size_t> parallel =
+            parallelMap(kItems, square, jobs);
+        EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(Parallel, MoreJobsThanItemsIsFine)
+{
+    std::vector<std::size_t> out =
+        parallelMap(3, [](std::size_t i) { return i; }, 64);
+    EXPECT_EQ(out, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Parallel, NonTrivialResultType)
+{
+    std::vector<std::string> out = parallelMap(
+        50, [](std::size_t i) { return std::string(i, 'x'); }, 4);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i].size(), i);
+}
+
+TEST(Parallel, WorkerExceptionPropagates)
+{
+    auto fn = [](std::size_t i) {
+        if (i == 7)
+            throw std::runtime_error("item 7 failed");
+        return int(i);
+    };
+    EXPECT_THROW({ parallelMap(16, fn, 4); }, std::runtime_error);
+    EXPECT_THROW({ parallelMap(16, fn, 1); }, std::runtime_error);
+}
+
+TEST(Parallel, LowestIndexExceptionWins)
+{
+    // Multiple failures: the rethrown exception is the lowest-index one,
+    // matching what a serial run would hit first.
+    auto fn = [](std::size_t i) -> int {
+        if (i % 2 == 0)
+            throw std::runtime_error("item " + std::to_string(i));
+        return int(i);
+    };
+    for (unsigned jobs : {1u, 4u}) {
+        try {
+            parallelMap(10, fn, jobs);
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "item 0") << "jobs=" << jobs;
+        }
+    }
+}
+
+TEST(Parallel, AllItemsRunExactlyOnce)
+{
+    constexpr std::size_t kItems = 500;
+    std::vector<std::atomic<unsigned>> hits(kItems);
+    parallelMap(
+        kItems,
+        [&hits](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+            return 0;
+        },
+        8);
+    for (std::size_t i = 0; i < kItems; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "item " << i;
+}
+
+TEST(Parallel, JobsFromCommandLineParsesForms)
+{
+    {
+        const char *argv[] = {"prog", "--jobs", "3"};
+        EXPECT_EQ(jobsFromCommandLine(3, const_cast<char **>(argv)), 3u);
+    }
+    {
+        const char *argv[] = {"prog", "--jobs=5"};
+        EXPECT_EQ(jobsFromCommandLine(2, const_cast<char **>(argv)), 5u);
+    }
+    {
+        const char *argv[] = {"prog"};
+        EXPECT_GE(jobsFromCommandLine(1, const_cast<char **>(argv)), 1u);
+    }
+}
+
+TEST(Parallel, DefaultJobsHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("OVL_JOBS", "6", 1), 0);
+    EXPECT_EQ(defaultJobs(), 6u);
+    ASSERT_EQ(unsetenv("OVL_JOBS"), 0);
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+namespace
+{
+
+void
+expectSameResult(const ForkBenchResult &a, const ForkBenchResult &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_DOUBLE_EQ(a.additionalMemoryMB, b.additionalMemoryMB);
+    EXPECT_DOUBLE_EQ(a.cpi, b.cpi);
+    EXPECT_EQ(a.cowFaults, b.cowFaults);
+    EXPECT_EQ(a.overlayingWrites, b.overlayingWrites);
+    EXPECT_EQ(a.forkLatency, b.forkLatency);
+}
+
+} // namespace
+
+/**
+ * The determinism contract end to end: a fig09-style sweep (independent
+ * Systems per item) produces identical ForkBenchResults serial and
+ * parallel — every simulated tick and stat, not just the printed text.
+ */
+TEST(Parallel, ForkSweepIsDeterministicAcrossJobCounts)
+{
+    ForkBenchParams params = forkBenchByName("mcf");
+    params.warmupInstructions = 20'000;
+    params.postForkInstructions = 100'000;
+    params.footprintPages /= 16;
+    params.hotPages /= 16;
+    params.dirtyPages /= 16;
+
+    auto runOne = [&params](std::size_t i) {
+        ForkMode mode =
+            i % 2 ? ForkMode::OverlayOnWrite : ForkMode::CopyOnWrite;
+        return runForkBench(params, mode, SystemConfig{});
+    };
+    std::vector<ForkBenchResult> serial = parallelMap(4, runOne, 1);
+    std::vector<ForkBenchResult> parallel = parallelMap(4, runOne, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("item " + std::to_string(i));
+        expectSameResult(serial[i], parallel[i]);
+    }
+}
