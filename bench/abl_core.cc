@@ -58,7 +58,11 @@ main(int argc, char **argv)
             row.oow = runForkBench(params, ForkMode::OverlayOnWrite, cfg);
             return row;
         },
-        jobs);
+        jobs,
+        [&points](std::size_t i) {
+            return "width=" + std::to_string(points[i].width) + "/window=" +
+                   std::to_string(points[i].window);
+        });
 
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Point &pt = points[i];

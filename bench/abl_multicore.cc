@@ -103,7 +103,11 @@ main(int argc, char **argv)
             return run(i == 0 ? ForkMode::CopyOnWrite
                               : ForkMode::OverlayOnWrite);
         },
-        jobs);
+        jobs,
+        [](std::size_t i) {
+            return std::string(i == 0 ? "copy-on-write"
+                                      : "overlay-on-write");
+        });
     const Result &cow = results[0];
     const Result &oow = results[1];
     std::printf("%-18s %12s %18s\n", "mechanism", "reader CPI",

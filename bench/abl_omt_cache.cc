@@ -39,7 +39,10 @@ main(int argc, char **argv)
                 entries[i] >= 4 ? 4 : entries[i];
             return runForkBench(params, ForkMode::OverlayOnWrite, cfg);
         },
-        jobs);
+        jobs,
+        [&entries](std::size_t i) {
+            return "omt-entries=" + std::to_string(entries[i]);
+        });
 
     for (std::size_t i = 0; i < results.size(); ++i) {
         const ForkBenchResult &res = results[i];

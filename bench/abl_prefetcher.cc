@@ -116,7 +116,10 @@ main(int argc, char **argv)
             cfg.caches.prefetcher.enabled = variants[i].stream_pf;
             return runOverlaySpmv(cfg, coo, x, variants[i].overlay_pf);
         },
-        jobs);
+        jobs,
+        [&variants](std::size_t i) {
+            return std::string(variants[i].name);
+        });
 
     Tick baseline = 0;
     for (std::size_t i = 0; i < std::size(variants); ++i) {

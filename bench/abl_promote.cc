@@ -53,7 +53,11 @@ main(int argc, char **argv)
             return runCell(kBenches[i / kNumThresholds],
                            kThresholds[i % kNumThresholds]);
         },
-        jobs);
+        jobs,
+        [](std::size_t i) {
+            return std::string(kBenches[i / kNumThresholds]) + "/thr=" +
+                   std::to_string(kThresholds[i % kNumThresholds]);
+        });
 
     for (std::size_t b = 0; b < std::size(kBenches); ++b) {
         ForkBenchParams params = forkBenchByName(kBenches[b]);

@@ -59,7 +59,12 @@ main(int argc, char **argv)
             cfg.overlay.allocator.coalesce = variants[i].coalesce;
             return runForkBench(params, ForkMode::OverlayOnWrite, cfg);
         },
-        jobs);
+        jobs,
+        [&variants](std::size_t i) {
+            return std::string(i == std::size(variants)
+                                   ? "copy-on-write reference"
+                                   : variants[i].name);
+        });
 
     double compact_mb = 0;
     for (std::size_t i = 0; i < std::size(variants); ++i) {

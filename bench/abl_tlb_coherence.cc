@@ -74,7 +74,10 @@ main(int argc, char **argv)
             row.shoot = measureOverlayingWrite(cfg, true);
             return row;
         },
-        jobs);
+        jobs,
+        [&tlb_counts](std::size_t i) {
+            return "tlbs=" + std::to_string(tlb_counts[i]);
+        });
 
     for (std::size_t i = 0; i < rows.size(); ++i) {
         std::printf("%6u %15llu cycles %15llu cycles %7.1fx\n",

@@ -48,7 +48,10 @@ main(int argc, char **argv)
             row.oow = runForkBench(params, ForkMode::OverlayOnWrite, cfg);
             return row;
         },
-        jobs);
+        jobs,
+        [&entries](std::size_t i) {
+            return "wbuf=" + std::to_string(entries[i]);
+        });
 
     for (std::size_t i = 0; i < rows.size(); ++i) {
         std::printf("%10u %16.3f %16.3f%s\n", entries[i], rows[i].cow.cpi,

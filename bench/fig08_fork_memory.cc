@@ -41,7 +41,10 @@ main(int argc, char **argv)
                                   : ForkMode::CopyOnWrite;
             return runForkBench(suite[i / 2], mode, SystemConfig{});
         },
-        jobs);
+        jobs,
+        [&suite](std::size_t i) {
+            return suite[i / 2].name + (i % 2 ? "/oow" : "/cow");
+        });
 
     double cow_sum = 0, oow_sum = 0, reduction_sum = 0;
     unsigned count = 0, last_type = 0;

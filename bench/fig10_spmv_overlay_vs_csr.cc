@@ -94,7 +94,8 @@ main(int argc, char **argv)
     const std::vector<MatrixSpec> suite = sparseSuite87();
     std::vector<Row> rows = parallelMap(
         suite.size(),
-        [&suite](std::size_t i) { return runOne(suite[i]); }, jobs);
+        [&suite](std::size_t i) { return runOne(suite[i]); }, jobs,
+        [&suite](std::size_t i) { return suite[i].name; });
 
     unsigned perf_wins = 0, mem_wins = 0, both_wins = 0, high_l = 0;
     double high_perf_sum = 0, high_mem_sum = 0;

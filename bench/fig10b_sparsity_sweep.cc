@@ -81,7 +81,10 @@ main(int argc, char **argv)
                 "----");
 
     std::vector<Point> points = parallelMap(
-        11, [](std::size_t i) { return runOne(int(i) * 10); }, jobs);
+        11, [](std::size_t i) { return runOne(int(i) * 10); }, jobs,
+        [](std::size_t i) {
+            return "zero=" + std::to_string(i * 10) + "%";
+        });
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Point &pt = points[i];

@@ -81,7 +81,8 @@ main(int argc, char **argv)
     const std::vector<MatrixSpec> suite = sparseSuite87();
     std::vector<Row> rows = parallelMap(
         suite.size(),
-        [&suite](std::size_t i) { return analyzeOne(suite[i]); }, jobs);
+        [&suite](std::size_t i) { return analyzeOne(suite[i]); }, jobs,
+        [&suite](std::size_t i) { return suite[i].name; });
 
     double sum_overhead[kNumBlocks] = {};
     unsigned beats_csr[kNumBlocks] = {};

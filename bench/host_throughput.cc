@@ -18,20 +18,32 @@
  * a jobs mismatch but always checks simulated_ticks.
  *
  * Usage: host_throughput [-o out.json] [--scale N] [--jobs N]
+ *                        [--sample-interval N --stats-out FILE]
+ *                        [--trace-out FILE [--trace-limit N]]
  *   --scale multiplies every workload's access count (default 1).
  *   --jobs runs the five workloads on N worker threads (default 1:
  *     serial, the measurement-isolation default for this harness).
+ *   --sample-interval/--stats-out stream a JSONL stats sample every N
+ *     ticks (DESIGN.md §9); requires --jobs 1 (one shared output).
+ *   --trace-out writes a Chrome trace-event JSON of the run.
+ *
+ * Instrumentation changes host throughput, never simulated_ticks: an
+ * instrumented run's fingerprint must equal the plain run's.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iterator>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/random.hh"
 #include "sim/parallel.hh"
+#include "sim/stats_sampler.hh"
+#include "sim/trace.hh"
 #include "system/system.hh"
 
 using namespace ovl;
@@ -64,13 +76,43 @@ constexpr Addr kBase = 0x100000;
  * TLB -> hierarchy -> DRAM path plus the functional page-table and
  * physical-memory lookups of the data-carrying read().
  */
+/**
+ * Attaches an optional sampler to a workload's System on entry;
+ * finish(end) emits the closing record and detaches.
+ */
+class SamplerScope
+{
+  public:
+    SamplerScope(System &sys, StatsSampler *sampler)
+        : sys_(sys), sampler_(sampler)
+    {
+        if (sampler_ != nullptr)
+            sys_.attachStatsSampler(sampler_, 0);
+    }
+
+    void
+    finish(Tick end)
+    {
+        if (sampler_ != nullptr) {
+            sampler_->finish(end);
+            sys_.detachStatsSampler();
+            sampler_ = nullptr;
+        }
+    }
+
+  private:
+    System &sys_;
+    StatsSampler *sampler_;
+};
+
 Result
-seqRead(std::uint64_t accesses)
+seqRead(std::uint64_t accesses, StatsSampler *sampler)
 {
     System sys;
     Asid p = sys.createProcess();
     constexpr std::uint64_t kBufBytes = 16ull << 20;
     sys.mapAnon(p, kBase, kBufBytes);
+    SamplerScope scope(sys, sampler);
 
     std::uint64_t v = 0;
     Tick t = 0;
@@ -82,6 +124,7 @@ seqRead(std::uint64_t accesses)
         v ^= out;
     }
     double secs = elapsed(start);
+    scope.finish(t);
     if (v != 0)
         std::fprintf(stderr, "unexpected nonzero read\n");
     return Result{"seq_read", accesses, secs, t};
@@ -89,12 +132,13 @@ seqRead(std::uint64_t accesses)
 
 /** Sequential write sweep over the same geometry. */
 Result
-seqWrite(std::uint64_t accesses)
+seqWrite(std::uint64_t accesses, StatsSampler *sampler)
 {
     System sys;
     Asid p = sys.createProcess();
     constexpr std::uint64_t kBufBytes = 16ull << 20;
     sys.mapAnon(p, kBase, kBufBytes);
+    SamplerScope scope(sys, sampler);
 
     Tick t = 0;
     auto start = Clock::now();
@@ -103,17 +147,19 @@ seqWrite(std::uint64_t accesses)
         t = sys.write(p, va, &i, sizeof(i), t);
     }
     double secs = elapsed(start);
+    scope.finish(t);
     return Result{"seq_write", accesses, secs, t};
 }
 
 /** Fixed-seed random 2:1 read/write mix over a 64 MiB footprint. */
 Result
-randomMix(std::uint64_t accesses)
+randomMix(std::uint64_t accesses, StatsSampler *sampler)
 {
     System sys;
     Asid p = sys.createProcess();
     constexpr std::uint64_t kBufBytes = 64ull << 20;
     sys.mapAnon(p, kBase, kBufBytes);
+    SamplerScope scope(sys, sampler);
 
     Rng rng(12345);
     std::uint64_t v = 0;
@@ -130,6 +176,7 @@ randomMix(std::uint64_t accesses)
         }
     }
     double secs = elapsed(start);
+    scope.finish(t);
     (void)v;
     return Result{"random_mix", accesses, secs, t};
 }
@@ -141,12 +188,13 @@ randomMix(std::uint64_t accesses)
  * frame. Exercises the OMT cache, OMS allocator and overlay read path.
  */
 Result
-sparseSpmv(std::uint64_t accesses)
+sparseSpmv(std::uint64_t accesses, StatsSampler *sampler)
 {
     System sys;
     Asid p = sys.createProcess();
     constexpr std::uint64_t kBufBytes = 8ull << 20;
     sys.mapZeroOverlay(p, kBase, kBufBytes);
+    SamplerScope scope(sys, sampler);
 
     Rng rng(99);
     Tick t = 0;
@@ -168,6 +216,7 @@ sparseSpmv(std::uint64_t accesses)
         v ^= out;
     }
     double secs = elapsed(start);
+    scope.finish(t);
     (void)v;
     return Result{"sparse_spmv", populated + reads, secs, t};
 }
@@ -178,12 +227,13 @@ sparseSpmv(std::uint64_t accesses)
  * fork's table copy, overlaying writes, unmap and frame recycling.
  */
 Result
-forkCow(std::uint64_t accesses)
+forkCow(std::uint64_t accesses, StatsSampler *sampler)
 {
     System sys;
     Asid parent = sys.createProcess();
     constexpr std::uint64_t kPages = 512;
     sys.mapAnon(parent, kBase, kPages * kPageSize);
+    SamplerScope scope(sys, sampler);
 
     Tick t = 0;
     // Touch the whole footprint once.
@@ -202,6 +252,7 @@ forkCow(std::uint64_t accesses)
         sys.destroyProcess(child, t);
     }
     double secs = elapsed(start);
+    scope.finish(t);
     return Result{"fork_cow", done - kPages, secs, t};
 }
 
@@ -242,6 +293,10 @@ main(int argc, char **argv)
     // Unlike the sweep benches, this harness measures host throughput,
     // so it defaults to jobs=1 (serial) for measurement isolation.
     unsigned jobs = 1;
+    Tick sample_interval = 0;
+    std::string sample_path;
+    std::string trace_path;
+    std::uint64_t trace_limit = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
             out = argv[++i];
@@ -254,16 +309,56 @@ main(int argc, char **argv)
                              argv[0]);
                 return 1;
             }
+        } else if (std::strcmp(argv[i], "--sample-interval") == 0 &&
+                   i + 1 < argc) {
+            sample_interval = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--stats-out") == 0 &&
+                   i + 1 < argc) {
+            sample_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-limit") == 0 &&
+                   i + 1 < argc) {
+            trace_limit = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [-o out.json] [--scale N] [--jobs N]\n",
+                         "usage: %s [-o out.json] [--scale N] [--jobs N]"
+                         " [--sample-interval N --stats-out FILE]"
+                         " [--trace-out FILE [--trace-limit N]]\n",
                          argv[0]);
             return 1;
         }
     }
+    if (sample_path.empty() != (sample_interval == 0)) {
+        std::fprintf(stderr,
+                     "%s: --sample-interval and --stats-out go together\n",
+                     argv[0]);
+        return 1;
+    }
+    if (!sample_path.empty() && jobs != 1) {
+        // The five workloads would interleave records in the one JSONL
+        // stream; keep sampled runs serial.
+        std::fprintf(stderr, "%s: --stats-out requires --jobs 1\n",
+                     argv[0]);
+        return 1;
+    }
+    std::ofstream sample_os;
+    if (!sample_path.empty()) {
+        sample_os.open(sample_path);
+        if (!sample_os) {
+            std::fprintf(stderr, "cannot open %s\n", sample_path.c_str());
+            return 1;
+        }
+    }
+    if (!trace_path.empty())
+        trace::start(trace_path, trace_limit);
 
-    Result (*const workloads[])(std::uint64_t) = {
+    Result (*const workloads[])(std::uint64_t, StatsSampler *) = {
         seqRead, seqWrite, randomMix, sparseSpmv, forkCow,
+    };
+    const char *const names[] = {
+        "seq_read", "seq_write", "random_mix", "sparse_spmv", "fork_cow",
     };
     const std::uint64_t counts[] = {
         4'000'000 * scale, 4'000'000 * scale, 2'000'000 * scale,
@@ -273,11 +368,23 @@ main(int argc, char **argv)
     auto wall_start = Clock::now();
     std::vector<Result> results = parallelMap(
         std::size(workloads),
-        [&workloads, &counts](std::size_t i) {
-            return workloads[i](counts[i]);
+        [&](std::size_t i) {
+            std::optional<StatsSampler> sampler;
+            if (sample_interval > 0) {
+                sampler.emplace(sample_os, sample_interval,
+                                StatsSampler::Mode::Delta, names[i]);
+            }
+            return workloads[i](counts[i], sampler ? &*sampler : nullptr);
         },
-        jobs);
+        jobs,
+        [&names](std::size_t i) { return std::string(names[i]); });
     double wall_seconds = elapsed(wall_start);
+    if (!trace_path.empty()) {
+        trace::stop();
+        std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    if (!sample_path.empty())
+        std::printf("stats samples written to %s\n", sample_path.c_str());
 
     std::printf("%-12s %12s %9s %14s %18s\n", "workload", "accesses",
                 "seconds", "Maccess/s", "simulated_ticks");

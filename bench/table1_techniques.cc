@@ -255,7 +255,10 @@ main(int argc, char **argv)
     };
     std::vector<std::string> rows = parallelMap(
         std::size(techniques),
-        [&techniques](std::size_t i) { return techniques[i](); }, jobs);
+        [&techniques](std::size_t i) { return techniques[i](); }, jobs,
+        [](std::size_t i) {
+            return "technique " + std::to_string(i + 1);
+        });
     for (const std::string &row : rows)
         std::fputs(row.c_str(), stdout);
     return 0;

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Render StatsSampler JSONL streams as CSV or ASCII sparklines.
+
+Usage:
+    scripts/stats_plot.py samples.jsonl                  # list columns
+    scripts/stats_plot.py samples.jsonl --stat dram.reads
+    scripts/stats_plot.py samples.jsonl --csv out.csv [--run mcf/oow]
+    scripts/stats_plot.py samples.jsonl --sparkline [--run mcf/oow]
+
+Input is the `--stats-out` stream of `overlaysim forkbench` or
+`host_throughput`: one JSON object per line, each with a "tick" key, an
+optional "run" label, and one key per sampled scalar. A file may
+interleave several runs (the forkbench suite streams all benchmarks
+into one file); `--run` selects one, otherwise each run is rendered
+separately.
+
+With no mode flag the script lists the runs and stat columns it found.
+--stat prints one column as `tick value` pairs plus a sparkline.
+--csv writes a wide CSV (tick + one column per stat) per selected run.
+--sparkline draws a one-line unicode sparkline per stat, scaled to that
+stat's own min/max over the run (flat lines mean a constant stat).
+"""
+
+import argparse
+import json
+import sys
+
+SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def load_runs(path):
+    """Parse JSONL into {run_label: [record, ...]}, preserving order."""
+    runs = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: bad JSON record: {e}")
+            if "tick" not in rec:
+                sys.exit(f"{path}:{lineno}: record has no 'tick' key")
+            label = rec.get("run", "")
+            runs.setdefault(label, []).append(rec)
+    return runs
+
+
+def stat_columns(records):
+    """Stat keys in first-seen order (tick/run excluded)."""
+    cols = []
+    seen = set()
+    for rec in records:
+        for key in rec:
+            if key in ("tick", "run") or key in seen:
+                continue
+            seen.add(key)
+            cols.append(key)
+    return cols
+
+
+def sparkline(values, width=60):
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by bucket-mean so long runs still fit one line.
+        bucketed = []
+        for b in range(width):
+            lo = b * len(values) // width
+            hi = max(lo + 1, (b + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return SPARK_CHARS[1] * len(values)
+    out = []
+    for v in values:
+        idx = 1 + int((v - lo) / span * (len(SPARK_CHARS) - 2))
+        out.append(SPARK_CHARS[min(idx, len(SPARK_CHARS) - 1)])
+    return "".join(out)
+
+
+def csv_quote(field):
+    if any(c in field for c in ',"\n'):
+        return '"' + field.replace('"', '""') + '"'
+    return field
+
+
+def write_csv(records, cols, out):
+    out.write(",".join(["tick"] + [csv_quote(c) for c in cols]) + "\n")
+    for rec in records:
+        row = [str(rec["tick"])]
+        for col in cols:
+            v = rec.get(col, "")
+            row.append(repr(v) if isinstance(v, float) else str(v))
+        out.write(",".join(row) + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Render StatsSampler JSONL as CSV or sparklines.")
+    ap.add_argument("jsonl", help="sampler output (--stats-out FILE)")
+    ap.add_argument("--run", help="select one run label")
+    ap.add_argument("--stat", help="print one stat as tick/value pairs")
+    ap.add_argument("--csv", metavar="OUT",
+                    help="write a wide CSV ('-' for stdout)")
+    ap.add_argument("--sparkline", action="store_true",
+                    help="one sparkline per stat")
+    args = ap.parse_args()
+
+    runs = load_runs(args.jsonl)
+    if not runs:
+        sys.exit(f"{args.jsonl}: no records")
+    if args.run is not None:
+        if args.run not in runs:
+            known = ", ".join(repr(r) for r in runs) or "(none)"
+            sys.exit(f"run {args.run!r} not found; have: {known}")
+        runs = {args.run: runs[args.run]}
+
+    if args.csv:
+        if len(runs) > 1 and args.csv != "-":
+            sys.exit("multiple runs in file; pick one with --run")
+        for records in runs.values():
+            cols = stat_columns(records)
+            if args.csv == "-":
+                write_csv(records, cols, sys.stdout)
+            else:
+                with open(args.csv, "w") as f:
+                    write_csv(records, cols, f)
+                print(f"wrote {args.csv}: {len(records)} records,"
+                      f" {len(cols)} stats")
+        return
+
+    for label, records in runs.items():
+        title = label or "(unlabelled run)"
+        ticks = [rec["tick"] for rec in records]
+        print(f"{title}: {len(records)} records,"
+              f" ticks {ticks[0]}..{ticks[-1]}")
+        cols = stat_columns(records)
+        if args.stat:
+            if args.stat not in cols:
+                print(f"  stat {args.stat!r} not in this run")
+                continue
+            values = [rec.get(args.stat, 0) for rec in records]
+            for tick, v in zip(ticks, values):
+                print(f"  {tick} {v}")
+            print(f"  {sparkline(values)}")
+        elif args.sparkline:
+            width = max((len(c) for c in cols), default=0)
+            for col in cols:
+                values = [rec.get(col, 0) for rec in records]
+                lo, hi = min(values), max(values)
+                print(f"  {col:<{width}} [{lo:g}, {hi:g}]"
+                      f" {sparkline(values)}")
+        else:
+            for col in cols:
+                print(f"  {col}")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        # Piping into `head` is a supported use; die quietly.
+        sys.exit(0)

@@ -21,6 +21,7 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
+#include "sim/trace.hh"
 
 namespace ovl
 {
@@ -231,7 +232,14 @@ CacheHierarchy::access(Addr line_addr, bool is_write, Tick when,
         ++hitsL2_;
         if (hit_level)
             *hit_level = HitLevel::L2;
-        return t + params_.l2.hitLatency();
+        Tick done = t + params_.l2.hitLatency();
+        // Trace points sit on the L1-miss cascade only, so the L1-hit
+        // fast path stays branch-for-branch identical when disabled.
+        if (trace::active()) {
+            trace::complete("cache", "l2_hit", when, done - when,
+                            {{"line", line_addr}});
+        }
+        return done;
     }
     t += params_.l2.missDetectLatency();
 
@@ -245,14 +253,24 @@ CacheHierarchy::access(Addr line_addr, bool is_write, Tick when,
         ++hitsL3_;
         if (hit_level)
             *hit_level = HitLevel::L3;
-        return t + params_.l3.hitLatency();
+        Tick done = t + params_.l3.hitLatency();
+        if (trace::active()) {
+            trace::complete("cache", "l3_hit", when, done - when,
+                            {{"line", line_addr}});
+        }
+        return done;
     }
     t += params_.l3.missDetectLatency();
 
     ++memReads_;
     if (hit_level)
         *hit_level = HitLevel::Memory;
-    return backend_.readLine(line_addr, t);
+    Tick done = backend_.readLine(line_addr, t);
+    if (trace::active()) {
+        trace::complete("cache", "mem_read", when, done - when,
+                        {{"line", line_addr}});
+    }
+    return done;
 }
 
 } // namespace ovl

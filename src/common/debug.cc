@@ -19,6 +19,16 @@ const char *const kFlagNames[kNumFlags] = {
     "dram", "cache", "tlb", "vm", "overlay", "system", "cpu",
 };
 
+const char *const kFlagDescriptions[kNumFlags] = {
+    "DRAM controller: write-buffer drain episodes",
+    "cache hierarchy (reserved: no trace points yet)",
+    "TLB (reserved: no trace points yet)",
+    "virtual memory (reserved: no trace points yet)",
+    "overlay engine: segment allocation and migration",
+    "system: CoW faults, overlaying writes, promotions, fork",
+    "core model (reserved: no trace points yet)",
+};
+
 bool gFlags[kNumFlags] = {};
 // Once set (with release ordering), gFlags is read-only: enabled() from
 // worker threads is then a race-free acquire load + array read. Writers
@@ -31,6 +41,12 @@ const char *
 flagName(Flag flag)
 {
     return kFlagNames[unsigned(flag)];
+}
+
+const char *
+flagDescription(Flag flag)
+{
+    return kFlagDescriptions[unsigned(flag)];
 }
 
 bool

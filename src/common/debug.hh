@@ -64,6 +64,9 @@ void printLine(Flag flag, const char *fmt, ...)
 /** Flag name as it appears in OVL_DEBUG and in trace output. */
 const char *flagName(Flag flag);
 
+/** One-line description of a flag's trace points (--list-debug-flags). */
+const char *flagDescription(Flag flag);
+
 } // namespace ovl::debug
 
 /** Trace-point macro; @p flag is the bare enumerator name. */

@@ -5,6 +5,7 @@
 #include "common/intmath.hh"
 #include "common/debug.hh"
 #include "common/logging.hh"
+#include "sim/trace.hh"
 
 namespace ovl
 {
@@ -48,16 +49,20 @@ DramModel::access(Addr line_addr, bool is_write, Tick when)
     Tick start = std::max(when, bank.readyAt);
 
     Tick access_lat;
+    const char *row_outcome;
     if (bank.openRow == row) {
         ++rowHits_;
+        row_outcome = "row_hit";
         access_lat = params_.toCpu(params_.tCL + params_.burstClocks());
     } else if (bank.openRow == kInvalidAddr) {
         ++rowClosed_;
+        row_outcome = "row_activate";
         access_lat = params_.toCpu(params_.tRCD + params_.tCL +
                                    params_.burstClocks());
         bank.activatedAt = start;
     } else {
         ++rowConflicts_;
+        row_outcome = "row_conflict";
         // Precharge may not cut the previous activation shorter than tRAS.
         Tick ras_ready = bank.activatedAt + params_.toCpu(params_.tRAS);
         start = std::max(start, ras_ready);
@@ -81,6 +86,12 @@ DramModel::access(Addr line_addr, bool is_write, Tick when)
         ++writes_;
     else
         ++reads_;
+    if (trace::active()) {
+        trace::complete("dram", row_outcome, start, done - start,
+                        {{"bank", bankOf(line_addr)},
+                         {"row", row},
+                         {"write", is_write ? 1u : 0u}});
+    }
     return done;
 }
 
@@ -150,10 +161,15 @@ DramController::drainWrites(Tick when)
     // banks [34]).
     Tick start = std::max(when, drainBusyUntil_);
     Tick done = start;
+    std::uint64_t drained = writeBuffer_.size();
     for (Addr addr : writeBuffer_)
         done = std::max(done, dram_.access(addr, true, start));
     writeBuffer_.clear();
     drainBusyUntil_ = done;
+    if (trace::active()) {
+        trace::complete("dram", "wb_drain", start, done - start,
+                        {{"writes", drained}});
+    }
     return done;
 }
 

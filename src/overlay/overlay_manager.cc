@@ -4,6 +4,7 @@
 
 #include "common/debug.hh"
 #include "common/logging.hh"
+#include "sim/trace.hh"
 
 namespace ovl
 {
@@ -173,7 +174,12 @@ OverlayManager::omtAccess(Opn opn, Tick when)
     omt_.walkAddresses(opn, walkScratch_);
     if (!walkScratch_.empty())
         dramCtrl_.read(walkScratch_.back(), t);
-    return t + params_.omtCache.missLatency;
+    Tick done = t + params_.omtCache.missLatency;
+    if (trace::active()) {
+        trace::complete("overlay", "omt_walk", when, done - when,
+                        {{"opn", opn}});
+    }
+    return done;
 }
 
 Tick
@@ -269,6 +275,11 @@ OverlayManager::migrateSegment(OmtEntry &entry, Opn opn, Tick &when)
               (unsigned long long)opn,
               (unsigned long long)segClassBytes(entry.seg.cls),
               entry.obv.count());
+    if (trace::active()) {
+        trace::instant("overlay", "oms_migrate", when,
+                       {{"opn", opn},
+                        {"from_bytes", segClassBytes(entry.seg.cls)}});
+    }
     OmsSegment old_seg = entry.seg;
     omsBytesInUse_ -= segClassBytes(old_seg.cls);
     // The OBitVector already says how many lines this overlay will hold:

@@ -36,12 +36,17 @@ jobsFromCommandLine(int argc, char **argv)
     unsigned jobs = defaultJobs();
     for (int i = 1; i < argc; ++i) {
         const char *value = nullptr;
+        if (std::strcmp(argv[i], "--progress") == 0) {
+            setProgressEnabled(true);
+            continue;
+        }
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             value = argv[++i];
         } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
             value = argv[i] + 7;
         } else {
-            std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--jobs N] [--progress]\n",
+                         argv[0]);
             std::exit(1);
         }
         char *end = nullptr;
@@ -54,6 +59,57 @@ jobsFromCommandLine(int argc, char **argv)
         jobs = unsigned(v);
     }
     return jobs;
+}
+
+namespace
+{
+
+bool
+progressDefault()
+{
+    const char *env = std::getenv("OVL_PROGRESS");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/** -1 = unset (fall back to OVL_PROGRESS), else 0/1. */
+std::atomic<int> gProgress{-1};
+
+} // namespace
+
+bool
+progressEnabled()
+{
+    int v = gProgress.load(std::memory_order_relaxed);
+    if (v < 0)
+        return progressDefault();
+    return v != 0;
+}
+
+void
+setProgressEnabled(bool enabled)
+{
+    gProgress.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+ProgressReporter::ProgressReporter(std::size_t total, LabelFn label)
+    : total_(total), label_(std::move(label)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+ProgressReporter::itemDone(std::size_t index)
+{
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    std::string label = label_ ? label_(index) : std::to_string(index);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    // One atomic fprintf per line so lines from concurrent workers never
+    // interleave mid-line.
+    std::fprintf(stderr, "[%zu/%zu] %s done (wall %.1fs)\n", done_, total_,
+                 label.c_str(), wall);
 }
 
 namespace detail

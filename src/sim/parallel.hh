@@ -26,8 +26,13 @@
 #define OVERLAYSIM_SIM_PARALLEL_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -47,10 +52,44 @@ unsigned defaultJobs();
 
 /**
  * Shared `--jobs N` flag of the sweep benches. Accepts `--jobs N` and
- * `--jobs=N`; no flag means defaultJobs(). Unknown arguments print a
- * usage line and exit(1).
+ * `--jobs=N`, plus `--progress` (see setProgressEnabled); no flag means
+ * defaultJobs(). Unknown arguments print a usage line and exit(1).
  */
 unsigned jobsFromCommandLine(int argc, char **argv);
+
+/**
+ * Whether parallelMap emits per-item progress lines. Defaults to the
+ * OVL_PROGRESS environment variable (any value but "" / "0" enables);
+ * the benches' `--progress` flag turns it on explicitly. Progress goes
+ * to stderr only — a sweep's stdout stays byte-identical at every job
+ * count, with or without progress.
+ */
+bool progressEnabled();
+void setProgressEnabled(bool enabled);
+
+/**
+ * Thread-safe "[k/n] <label> done (wall Xs)" reporting for long sweeps.
+ * Each itemDone() prints one line to stderr; k counts completions in
+ * wall-clock order (not input order), so the lines show real progress
+ * even when items finish out of order.
+ */
+class ProgressReporter
+{
+  public:
+    using LabelFn = std::function<std::string(std::size_t)>;
+
+    ProgressReporter(std::size_t total, LabelFn label);
+
+    /** Report item @p index complete. Callable from any worker thread. */
+    void itemDone(std::size_t index);
+
+  private:
+    std::size_t total_;
+    LabelFn label_;
+    std::chrono::steady_clock::time_point start_;
+    std::mutex mutex_;
+    std::size_t done_ = 0;
+};
 
 namespace detail
 {
@@ -71,10 +110,15 @@ void prepareForWorkers();
  * don't leave workers idle behind a static partition. If any closure
  * throws, every item still completes (or fails) and the exception of the
  * lowest-index failed item is rethrown on the calling thread.
+ *
+ * @p progress_label (optional) names item i for progress reporting;
+ * when provided and progressEnabled(), each completion prints one
+ * "[k/n] <label> done (wall Xs)" line to stderr (never stdout).
  */
 template <typename Fn>
 auto
-parallelMap(std::size_t num_items, Fn &&fn, unsigned jobs)
+parallelMap(std::size_t num_items, Fn &&fn, unsigned jobs,
+            ProgressReporter::LabelFn progress_label = {})
     -> std::vector<decltype(fn(std::size_t(0)))>
 {
     using Result = decltype(fn(std::size_t(0)));
@@ -82,11 +126,20 @@ parallelMap(std::size_t num_items, Fn &&fn, unsigned jobs)
     if (num_items == 0)
         return results;
 
+    std::unique_ptr<ProgressReporter> progress;
+    if (progress_label && progressEnabled()) {
+        progress = std::make_unique<ProgressReporter>(
+            num_items, std::move(progress_label));
+    }
+
     std::size_t workers = jobs > 1 ? std::min<std::size_t>(jobs, num_items)
                                    : 1;
     if (workers <= 1) {
-        for (std::size_t i = 0; i < num_items; ++i)
+        for (std::size_t i = 0; i < num_items; ++i) {
             results[i] = fn(i);
+            if (progress)
+                progress->itemDone(i);
+        }
         return results;
     }
 
@@ -100,6 +153,8 @@ parallelMap(std::size_t num_items, Fn &&fn, unsigned jobs)
                 return;
             try {
                 results[i] = fn(i);
+                if (progress)
+                    progress->itemDone(i);
             } catch (...) {
                 errors[i] = std::current_exception();
             }

@@ -1,6 +1,7 @@
 #include "stats.hh"
 
 #include <iomanip>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -122,6 +123,21 @@ Histogram::dumpJsonValue(std::ostream &os) const
         os << ", \"mean\": " << mean() << ", \"min\": " << min_
            << ", \"max\": " << max_;
     }
+    // Always emit the bucket map so every histogram value has the same
+    // shape; zero samples yields {"samples": 0, "buckets": {}}.
+    os << ", \"buckets\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << i * bucketWidth_ << "\": " << buckets_[i];
+    }
+    os << "}";
+    if (overflow_ > 0)
+        os << ", \"overflow\": " << overflow_;
     os << "}";
 }
 
@@ -129,12 +145,45 @@ void
 Formula::dumpJsonValue(std::ostream &os) const
 {
     double v = value();
-    // JSON has no NaN/Inf; clamp to null.
-    if (v != v) {
+    // JSON has no NaN/Inf; clamp non-finite values to null.
+    if (v != v || v == std::numeric_limits<double>::infinity() ||
+        v == -std::numeric_limits<double>::infinity()) {
         os << "null";
         return;
     }
     os << v;
+}
+
+void
+Counter::eachScalar(const ScalarVisitor &fn) const
+{
+    fn("", double(value_), true);
+}
+
+void
+Gauge::eachScalar(const ScalarVisitor &fn) const
+{
+    fn("", double(value_), false);
+}
+
+void
+Histogram::eachScalar(const ScalarVisitor &fn) const
+{
+    // Sample count and sum are enough to reconstruct per-interval rates
+    // and means; per-bucket time series would bloat every record.
+    fn(".samples", double(samples_), true);
+    fn(".sum", double(sum_), true);
+}
+
+void
+Formula::eachScalar(const ScalarVisitor &fn) const
+{
+    double v = value();
+    // Keep records JSON-clean: non-finite derived values sample as 0.
+    if (v != v || v == std::numeric_limits<double>::infinity() ||
+        v == -std::numeric_limits<double>::infinity())
+        v = 0.0;
+    fn("", v, false);
 }
 
 void

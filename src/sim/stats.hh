@@ -19,6 +19,15 @@ namespace ovl::stats
 
 class Group;
 
+/**
+ * Visitor used by the tick-domain sampler to flatten a stat into one or
+ * more scalar time-series points: @p suffix is appended to the stat name
+ * ("" for scalars, ".samples"/".sum" for histograms), @p monotonic marks
+ * values that only grow (eligible for per-interval deltas).
+ */
+using ScalarVisitor =
+    std::function<void(const char *suffix, double value, bool monotonic)>;
+
 /** Base class for anything registered in a stats Group. */
 class Info
 {
@@ -37,6 +46,10 @@ class Info
 
     /** Print the stat's JSON value (number or object), no key. */
     virtual void dumpJsonValue(std::ostream &os) const = 0;
+
+    /** Flatten into scalar samples (see ScalarVisitor). The number and
+     *  order of emitted scalars must not change over the stat's life. */
+    virtual void eachScalar(const ScalarVisitor &fn) const = 0;
 
     /** Reset to the zero state (counters to 0, histograms emptied). */
     virtual void reset() = 0;
@@ -62,6 +75,7 @@ class Counter : public Info
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJsonValue(std::ostream &os) const override;
+    void eachScalar(const ScalarVisitor &fn) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -85,6 +99,7 @@ class Gauge : public Info
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJsonValue(std::ostream &os) const override;
+    void eachScalar(const ScalarVisitor &fn) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -112,6 +127,7 @@ class Histogram : public Info
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJsonValue(std::ostream &os) const override;
+    void eachScalar(const ScalarVisitor &fn) const override;
     void reset() override;
 
   private:
@@ -138,6 +154,7 @@ class Formula : public Info
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJsonValue(std::ostream &os) const override;
+    void eachScalar(const ScalarVisitor &fn) const override;
     void reset() override {}
 
   private:
@@ -159,6 +176,9 @@ class Group
     const std::string &name() const { return name_; }
 
     void registerInfo(Info *info) { infos_.push_back(info); }
+
+    /** Registered stats, in registration order (used by the sampler). */
+    const std::vector<Info *> &infos() const { return infos_; }
 
     /** Dump every registered stat as `group.stat value # desc`. */
     void dump(std::ostream &os) const;

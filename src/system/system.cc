@@ -5,6 +5,8 @@
 
 #include "common/debug.hh"
 #include "common/logging.hh"
+#include "sim/stats_sampler.hh"
+#include "sim/trace.hh"
 
 namespace ovl
 {
@@ -107,6 +109,10 @@ System::translate(Asid asid, Addr vpn, Tick &t, AccessOutcome *outcome,
     ++tlbWalks_;
     if (outcome)
         outcome->tlbWalk = true;
+    if (trace::active()) {
+        trace::begin("tlb", "tlb_walk", t - config_.tlb.walkLatency,
+                     {{"asid", asid}, {"vpn", vpn}});
+    }
     Pte *pte = vmm_.resolve(asid, vpn);
     if (pte == nullptr || !pte->present) {
         ovl_fatal("access to unmapped page: asid=%u vpn=%llx",
@@ -130,6 +136,8 @@ System::translate(Asid asid, Addr vpn, Tick &t, AccessOutcome *outcome,
         t = std::max(t, omt_done);
         data.obv = overlayMgr_.obitvector(opn);
     }
+    if (trace::active())
+        trace::end("tlb", "tlb_walk", t);
     return tlbs_[core]->fill(asid, vpn, data);
 }
 
@@ -177,6 +185,10 @@ System::access(Asid asid, Addr vaddr, bool is_write, Tick when,
             ++overlayLineReads_;
     }
     t = caches_.access(line_addr, is_write, t, &outcome->level);
+    // Sampler pump: samplerNext_ is kMaxTick when no sampler is
+    // attached, so the steady-state cost is this one compare.
+    if (t >= samplerNext_)
+        samplerNext_ = sampler_->observe(t);
     outcome->completion = t;
     return t;
 }
@@ -190,6 +202,10 @@ System::serviceCowFault(Asid asid, Addr vaddr, TlbEntryData *&entry,
     ovl_trace(system, "CoW fault: asid=%u vaddr=%llx t=%llu",
               unsigned(asid), (unsigned long long)vaddr,
               (unsigned long long)t);
+    if (trace::active()) {
+        trace::begin("overlay", "cow_fault", t,
+                     {{"asid", asid}, {"vaddr", vaddr}});
+    }
     t += config_.pageFaultTrapCycles;
 
     Addr vpn = pageNumber(vaddr);
@@ -217,7 +233,7 @@ System::serviceCowFault(Asid asid, Addr vaddr, TlbEntryData *&entry,
     // Remap: update the PTE and shoot down stale TLB entries [6, 52].
     t += config_.tlbShootdownCycles();
     for (auto &tlb : tlbs_)
-        tlb->invalidate(asid, vpn);
+        tlb->invalidate(asid, vpn, t);
 
     TlbEntryData data;
     data.ppn = pte->ppn;
@@ -226,6 +242,8 @@ System::serviceCowFault(Asid asid, Addr vaddr, TlbEntryData *&entry,
     data.overlayEnabled = pte->overlayEnabled;
     data.metadataMode = pte->metadataMode;
     entry = tlbs_[core]->fill(asid, vpn, data);
+    if (trace::active())
+        trace::end("overlay", "cow_fault", t);
     return t;
 }
 
@@ -254,11 +272,16 @@ System::broadcastOre(Asid asid, Addr vpn, Opn opn, unsigned line, Tick t)
     Tick start = std::max(t, oreBusyUntil_);
     Tick ore_done = start + config_.oreMessageCycles;
     oreBusyUntil_ = ore_done;
-    t = ore_done;
     for (auto &tlb : tlbs_)
         tlb->updateObvBit(asid, vpn, line, true);
-    overlayMgr_.overlayingReadExclusive(opn, line, t);
-    return t;
+    overlayMgr_.overlayingReadExclusive(opn, line, ore_done);
+    if (trace::active()) {
+        // Span covers queueing at the ordering point plus transit, so
+        // ORE bursts show up as stacked, lengthening spans.
+        trace::complete("overlay", "ore_broadcast", t, ore_done - t,
+                        {{"asid", asid}, {"vpn", vpn}, {"line", line}});
+    }
+    return ore_done;
 }
 
 Tick
@@ -270,6 +293,10 @@ System::serviceOverlayingWrite(Asid asid, Addr vaddr, TlbEntryData *entry,
     ovl_trace(system, "overlaying write: asid=%u vaddr=%llx line=%u t=%llu",
               unsigned(asid), (unsigned long long)vaddr,
               lineInPage(vaddr), (unsigned long long)t);
+    if (trace::active()) {
+        trace::begin("overlay", "overlaying_write", t,
+                     {{"asid", asid}, {"vaddr", vaddr}});
+    }
 
     // Derive the page's identities once; every step below (functional
     // move, retag, ORE broadcast, OMT update) shares them instead of
@@ -301,6 +328,8 @@ System::serviceOverlayingWrite(Asid asid, Addr vaddr, TlbEntryData *entry,
         t = promoteOverlay(asid, vaddr, PromoteAction::CopyAndCommit, t);
     }
     // Step 3 (the write itself) happens in access() after re-translation.
+    if (trace::active())
+        trace::end("overlay", "overlaying_write", t);
     return t;
 }
 
@@ -492,6 +521,10 @@ System::fork(Asid parent, ForkMode mode, Tick when, Tick *done)
     ovl_trace(system, "fork: parent=%u child=%u mode=%s", unsigned(parent),
               unsigned(child),
               mode == ForkMode::CopyOnWrite ? "cow" : "oow");
+    if (trace::active()) {
+        trace::begin("system", "fork", when,
+                     {{"parent", parent}, {"child", child}});
+    }
     Tick t = when + config_.pageFaultTrapCycles; // syscall + bookkeeping
 
     // Charge the page-table copy (8 B PTEs, 8 per line) through DRAM.
@@ -544,8 +577,10 @@ System::fork(Asid parent, ForkMode mode, Tick when, Tick *done)
     // The parent's cached translations are stale (cow now set).
     t += config_.tlbShootdownCycles();
     for (auto &tlb : tlbs_)
-        tlb->invalidateAsid(parent);
+        tlb->invalidateAsid(parent, t);
 
+    if (trace::active())
+        trace::end("system", "fork", t);
     if (done)
         *done = t;
     return child;
@@ -616,6 +651,12 @@ System::promoteOverlay(Asid asid, Addr vaddr, PromoteAction action,
     ovl_trace(system, "promote: asid=%u page=%llx action=%d",
               unsigned(asid), (unsigned long long)pageBase(vaddr),
               int(action));
+    if (trace::active()) {
+        trace::begin("overlay", "promote", when,
+                     {{"asid", asid},
+                      {"page", pageBase(vaddr)},
+                      {"action", std::uint64_t(action)}});
+    }
     Addr vpn = pageNumber(vaddr);
     Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
     Pte *pte = vmm_.resolve(asid, vpn);
@@ -692,7 +733,9 @@ System::promoteOverlay(Asid asid, Addr vaddr, PromoteAction action,
     }
     t += config_.tlbShootdownCycles();
     for (auto &tlb : tlbs_)
-        tlb->invalidate(asid, vpn);
+        tlb->invalidate(asid, vpn, t);
+    if (trace::active())
+        trace::end("overlay", "promote", t);
     return t;
 }
 
@@ -812,6 +855,37 @@ System::dumpAllStats(std::ostream &os)
 void
 System::dumpAllStatsJson(std::ostream &os)
 {
+    os << "{";
+    bool first = true;
+    forEachStatsGroup([&](const stats::Group *group) {
+        if (!first)
+            os << ",\n ";
+        first = false;
+        os << "\"" << group->name() << "\": ";
+        group->dumpJson(os);
+    });
+    os << "}\n";
+}
+
+void
+System::resetStats()
+{
+    SimObject::resetStats();
+    physMem_.resetStats();
+    vmm_.resetStats();
+    dramCtrl_.resetStats();
+    overlayMgr_.resetStats();
+    memCtrl_.resetStats();
+    caches_.resetStats();
+    // A mid-run reset must not produce negative per-interval deltas.
+    if (sampler_ != nullptr)
+        sampler_->rebase();
+}
+
+void
+System::forEachStatsGroup(
+    const std::function<void(const stats::Group *)> &fn)
+{
     const stats::Group *groups[] = {
         &statGroup(),
         &physMem_.statGroup(),
@@ -829,34 +903,32 @@ System::dumpAllStatsJson(std::ostream &os)
         &caches_.l3().statGroup(),
         &caches_.prefetcher().statGroup(),
     };
-    os << "{";
-    bool first = true;
-    for (const stats::Group *group : groups) {
-        if (!first)
-            os << ",\n ";
-        first = false;
-        os << "\"" << group->name() << "\": ";
-        group->dumpJson(os);
-    }
+    for (const stats::Group *group : groups)
+        fn(group);
     for (const auto &tlb : tlbs_) {
-        os << ",\n \"" << tlb->l1().name() << "\": ";
-        tlb->l1().statGroup().dumpJson(os);
-        os << ",\n \"" << tlb->l2().name() << "\": ";
-        tlb->l2().statGroup().dumpJson(os);
+        fn(&tlb->l1().statGroup());
+        fn(&tlb->l2().statGroup());
     }
-    os << "}\n";
 }
 
 void
-System::resetStats()
+System::attachStatsSampler(StatsSampler *sampler, Tick now)
 {
-    SimObject::resetStats();
-    physMem_.resetStats();
-    vmm_.resetStats();
-    dramCtrl_.resetStats();
-    overlayMgr_.resetStats();
-    memCtrl_.resetStats();
-    caches_.resetStats();
+    ovl_assert(sampler != nullptr, "attaching a null sampler");
+    ovl_assert(sampler_ == nullptr, "a sampler is already attached");
+    sampler_ = sampler;
+    forEachStatsGroup([&](const stats::Group *group) {
+        sampler->addGroup(group->name(), group);
+    });
+    sampler->begin(now);
+    samplerNext_ = sampler->nextDue();
+}
+
+void
+System::detachStatsSampler()
+{
+    sampler_ = nullptr;
+    samplerNext_ = kMaxTick;
 }
 
 } // namespace ovl

@@ -12,6 +12,7 @@
 #define OVERLAYSIM_SYSTEM_SYSTEM_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <vector>
@@ -26,6 +27,8 @@
 
 namespace ovl
 {
+
+class StatsSampler;
 
 /** Promotion actions for converting an overlay to a regular page (§4.3.4). */
 enum class PromoteAction
@@ -236,6 +239,20 @@ class System : public SimObject
     void dumpAllStatsJson(std::ostream &os);
     void resetStats() override;
 
+    /** Visit every component stats group (same set dumpAllStatsJson uses). */
+    void forEachStatsGroup(
+        const std::function<void(const stats::Group *)> &fn);
+
+    /**
+     * Attach a tick-domain sampler: registers every component stats
+     * group and emits the first record at @p now. While attached, the
+     * access path pumps the sampler whenever simulated time crosses a
+     * sample boundary (one integer compare when it doesn't). Call
+     * StatsSampler::finish and detach (nullptr) when the run ends.
+     */
+    void attachStatsSampler(StatsSampler *sampler, Tick now = 0);
+    void detachStatsSampler();
+
     std::uint64_t cowFaults() const { return cowFaults_.value(); }
     std::uint64_t overlayingWrites() const { return overlayingWrites_.value(); }
 
@@ -292,6 +309,11 @@ class System : public SimObject
     std::uint64_t omsBackingBytes_ = 0;
     /** ORE messages serialize at the coherence ordering point. */
     Tick oreBusyUntil_ = 0;
+
+    /** Tick-domain sampler; kMaxTick next-due when detached so the
+     *  access-path pump is a single always-false compare. */
+    StatsSampler *sampler_ = nullptr;
+    Tick samplerNext_ = kMaxTick;
 
     stats::Counter accesses_;
     stats::Counter tlbWalks_;

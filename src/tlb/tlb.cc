@@ -2,6 +2,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "sim/trace.hh"
 
 namespace ovl
 {
@@ -84,15 +85,23 @@ TwoLevelTlb::fill(Asid asid, Addr vpn, const TlbEntryData &data)
 }
 
 void
-TwoLevelTlb::invalidate(Asid asid, Addr vpn)
+TwoLevelTlb::invalidate(Asid asid, Addr vpn, Tick when)
 {
+    if (trace::active()) {
+        trace::instant("tlb", "tlb_shootdown", when,
+                       {{"asid", asid}, {"vpn", vpn}});
+    }
     l1_.invalidate(asid, vpn);
     l2_.invalidate(asid, vpn);
 }
 
 void
-TwoLevelTlb::invalidateAsid(Asid asid)
+TwoLevelTlb::invalidateAsid(Asid asid, Tick when)
 {
+    if (trace::active()) {
+        trace::instant("tlb", "tlb_shootdown_asid", when,
+                       {{"asid", asid}});
+    }
     l1_.invalidateAsid(asid);
     l2_.invalidateAsid(asid);
 }

@@ -240,9 +240,13 @@ class TwoLevelTlb : public SimObject
     /** Install a walked translation into both levels. */
     TlbEntryData *fill(Asid asid, Addr vpn, const TlbEntryData &data);
 
-    /** Invalidate in both levels. */
-    void invalidate(Asid asid, Addr vpn);
-    void invalidateAsid(Asid asid);
+    /**
+     * Invalidate in both levels. @p when is the shootdown's simulated
+     * time, used only as the timestamp of the trace-sink instant event
+     * (callers without a meaningful tick may omit it).
+     */
+    void invalidate(Asid asid, Addr vpn, Tick when = 0);
+    void invalidateAsid(Asid asid, Tick when = 0);
     void flush();
 
     /** Coherence hook applied to both levels (§4.3.3). */

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "cpu/ooo_core.hh"
+#include "sim/stats_sampler.hh"
 #include "system/system.hh"
 
 namespace ovl
@@ -347,12 +348,15 @@ forkBenchByName(const std::string &name)
 ForkBenchResult
 runForkBench(const ForkBenchParams &params, ForkMode mode,
              SystemConfig config, std::ostream *dump_stats,
-             std::vector<TraceOp> *record)
+             std::vector<TraceOp> *record, StatsSampler *sampler)
 {
     config.name = params.name;
     System system(config);
     OooCore core(params.name + ".core", system);
     Rng rng(params.seed);
+
+    if (sampler != nullptr)
+        system.attachStatsSampler(sampler, 0);
 
     Asid parent = system.createProcess();
     system.mapAnon(parent, kHeapBase, params.footprintPages * kPageSize);
@@ -381,6 +385,11 @@ runForkBench(const ForkBenchParams &params, ForkMode mode,
     // force the writebacks before measuring (the flush is excluded from
     // the measured epoch).
     system.caches().flushAll(end);
+
+    if (sampler != nullptr) {
+        sampler->finish(end);
+        system.detachStatsSampler();
+    }
 
     ForkBenchResult res;
     res.name = params.name;

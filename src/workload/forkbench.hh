@@ -31,6 +31,8 @@
 namespace ovl
 {
 
+class StatsSampler;
+
 /** Temporal/spatial shape of the post-fork write stream. */
 enum class WritePattern
 {
@@ -118,11 +120,16 @@ std::vector<Addr> buildWriteSchedule(const ForkBenchParams &params,
  * instruction stream is appended to it (replayable with OooCore::run or
  * `overlaysim trace run`; note the replay machine starts un-forked, so
  * replay measures the access pattern, not the CoW/OoW divergence).
+ * When @p sampler is non-null it is attached to the run's System for
+ * the whole run (warmup included) and finished/detached at the end;
+ * the sampler must be freshly constructed (no groups added yet). The
+ * post-fork resetStats() rebases a Delta-mode sampler automatically.
  */
 ForkBenchResult runForkBench(const ForkBenchParams &params, ForkMode mode,
                              SystemConfig config,
                              std::ostream *dump_stats = nullptr,
-                             std::vector<TraceOp> *record = nullptr);
+                             std::vector<TraceOp> *record = nullptr,
+                             StatsSampler *sampler = nullptr);
 
 } // namespace ovl
 

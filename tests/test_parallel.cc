@@ -127,6 +127,72 @@ TEST(Parallel, DefaultJobsHonorsEnvironment)
     EXPECT_GE(defaultJobs(), 1u);
 }
 
+TEST(Parallel, ProgressFlagParsesAndEnables)
+{
+    setProgressEnabled(false);
+    const char *argv[] = {"prog", "--progress", "--jobs", "2"};
+    EXPECT_EQ(jobsFromCommandLine(4, const_cast<char **>(argv)), 2u);
+    EXPECT_TRUE(progressEnabled());
+    setProgressEnabled(false);
+    EXPECT_FALSE(progressEnabled());
+}
+
+namespace
+{
+
+/** Run a labelled sweep capturing stderr; returns the progress text. */
+std::string
+sweepWithProgress(unsigned jobs, std::vector<std::size_t> &out)
+{
+    testing::internal::CaptureStderr();
+    out = parallelMap(
+        5, [](std::size_t i) { return i * 3; }, jobs,
+        [](std::size_t i) { return "item-" + std::to_string(i); });
+    return testing::internal::GetCapturedStderr();
+}
+
+} // namespace
+
+TEST(Parallel, ProgressReportsEveryItemOnStderrOnly)
+{
+    setProgressEnabled(true);
+    for (unsigned jobs : {1u, 4u}) {
+        std::vector<std::size_t> results;
+        std::string err = sweepWithProgress(jobs, results);
+        // Results are unaffected by progress reporting.
+        EXPECT_EQ(results, (std::vector<std::size_t>{0, 3, 6, 9, 12}))
+            << "jobs=" << jobs;
+        // One line per item; k counts completions so [5/5] always ends
+        // the stream, and every label appears exactly once.
+        std::size_t lines = 0;
+        for (char c : err)
+            lines += c == '\n';
+        EXPECT_EQ(lines, 5u) << "jobs=" << jobs << "\n" << err;
+        EXPECT_NE(err.find("[5/5]"), std::string::npos) << err;
+        for (unsigned i = 0; i < 5; ++i) {
+            std::string label = "item-" + std::to_string(i) + " done";
+            EXPECT_NE(err.find(label), std::string::npos)
+                << "jobs=" << jobs << "\n" << err;
+        }
+    }
+    setProgressEnabled(false);
+}
+
+TEST(Parallel, ProgressSilentWhenDisabledOrUnlabelled)
+{
+    setProgressEnabled(false);
+    std::vector<std::size_t> results;
+    std::string err = sweepWithProgress(4, results);
+    EXPECT_EQ(err, "");
+
+    // Enabled but the sweep provides no labels: nothing to report.
+    setProgressEnabled(true);
+    testing::internal::CaptureStderr();
+    parallelMap(4, [](std::size_t i) { return i; }, 2);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    setProgressEnabled(false);
+}
+
 namespace
 {
 

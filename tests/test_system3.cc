@@ -128,7 +128,11 @@ TEST(StatsJson, GroupJsonIsValidForEmptyAndPopulatedHistograms)
     stats::Histogram h(&group, "hist", "", 10, 4);
     std::ostringstream empty;
     group.dumpJson(empty);
-    EXPECT_EQ(empty.str(), "{\"count\": 0, \"hist\": {\"samples\": 0}}");
+    // A zero-sample histogram still carries its (empty) bucket map, so
+    // every histogram value has the same shape and parses as JSON.
+    EXPECT_EQ(empty.str(),
+              "{\"count\": 0, \"hist\": {\"samples\": 0, "
+              "\"buckets\": {}}}");
 
     c += 2;
     h.sample(15);
@@ -136,7 +140,7 @@ TEST(StatsJson, GroupJsonIsValidForEmptyAndPopulatedHistograms)
     group.dumpJson(full);
     EXPECT_EQ(full.str(),
               "{\"count\": 2, \"hist\": {\"samples\": 1, \"mean\": 15, "
-              "\"min\": 15, \"max\": 15}}");
+              "\"min\": 15, \"max\": 15, \"buckets\": {\"10\": 1}}}");
 }
 
 } // namespace

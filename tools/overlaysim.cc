@@ -16,6 +16,14 @@
  *
  *   overlaysim config
  *       Print the Table 2 machine configuration.
+ *
+ *   overlaysim list-debug-flags
+ *       Print the OVL_DEBUG flag table with descriptions.
+ *
+ * Observability (forkbench): `--sample-interval N --stats-out FILE`
+ * streams a JSONL stats sample every N ticks (see DESIGN.md §9);
+ * `--trace-out FILE [--trace-limit N]` writes a Chrome trace-event JSON
+ * loadable in Perfetto / chrome://tracing.
  */
 
 #include <cstdio>
@@ -26,10 +34,13 @@
 #include <string>
 #include <vector>
 
+#include "common/debug.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "cpu/ooo_core.hh"
 #include "cpu/trace_io.hh"
+#include "sim/stats_sampler.hh"
+#include "sim/trace.hh"
 #include "sparse/csr.hh"
 #include "sparse/overlay_matrix.hh"
 #include "sparse/spmv.hh"
@@ -46,13 +57,17 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: overlaysim <forkbench|spmv|trace|config> ...\n"
+                 "usage: overlaysim"
+                 " <forkbench|spmv|trace|config|list-debug-flags> ...\n"
                  "  forkbench <name|all> [--mode cow|oow|both]"
                  " [--post-instr N] [--stats FILE] [--record FILE]\n"
+                 "            [--sample-interval N] [--stats-out FILE]\n"
+                 "            [--trace-out FILE] [--trace-limit N]\n"
                  "  spmv --L X [--nnz N] [--rep overlay|csr|dense|all]\n"
                  "  trace info <file>\n"
                  "  trace run <file> [--pages N] [--json FILE]\n"
-                 "  config\n");
+                 "  config\n"
+                 "  list-debug-flags\n");
     return 2;
 }
 
@@ -90,6 +105,12 @@ cmdForkbench(std::vector<std::string> args)
     std::optional<std::string> post_str = flagValue(args, "--post-instr");
     std::optional<std::string> stats_path = flagValue(args, "--stats");
     std::optional<std::string> record_path = flagValue(args, "--record");
+    std::optional<std::string> interval_str =
+        flagValue(args, "--sample-interval");
+    std::optional<std::string> sample_path = flagValue(args, "--stats-out");
+    std::optional<std::string> trace_path = flagValue(args, "--trace-out");
+    std::optional<std::string> trace_limit_str =
+        flagValue(args, "--trace-limit");
     if (args.empty())
         return usage();
     std::ofstream stats_os;
@@ -97,6 +118,25 @@ cmdForkbench(std::vector<std::string> args)
         stats_os.open(*stats_path);
         if (!stats_os)
             ovl_fatal("cannot open %s for writing", stats_path->c_str());
+    }
+
+    Tick sample_interval = 0;
+    if (interval_str)
+        sample_interval = std::strtoull(interval_str->c_str(), nullptr, 10);
+    if (bool(sample_path) != (sample_interval > 0))
+        ovl_fatal("--sample-interval and --stats-out go together");
+    std::ofstream sample_os;
+    if (sample_path) {
+        sample_os.open(*sample_path);
+        if (!sample_os)
+            ovl_fatal("cannot open %s for writing", sample_path->c_str());
+    }
+    if (trace_path) {
+        std::uint64_t limit =
+            trace_limit_str
+                ? std::strtoull(trace_limit_str->c_str(), nullptr, 10)
+                : 0;
+        trace::start(*trace_path, limit);
     }
 
     std::vector<ForkBenchParams> selected;
@@ -120,10 +160,21 @@ cmdForkbench(std::vector<std::string> args)
             ForkMode mode = pass == 0 ? ForkMode::CopyOnWrite
                                       : ForkMode::OverlayOnWrite;
             std::vector<TraceOp> recorded;
+            // One sampler per run (column layout is per-System); all
+            // runs stream into the one JSONL file, distinguished by
+            // their "run" label.
+            std::optional<StatsSampler> sampler;
+            if (sample_path) {
+                sampler.emplace(sample_os, sample_interval,
+                                StatsSampler::Mode::Delta,
+                                params.name +
+                                    (pass == 0 ? "/cow" : "/oow"));
+            }
             ForkBenchResult res = runForkBench(
                 params, mode, SystemConfig{},
                 stats_path ? &stats_os : nullptr,
-                record_path ? &recorded : nullptr);
+                record_path ? &recorded : nullptr,
+                sampler ? &*sampler : nullptr);
             if (record_path) {
                 saveTraceFile(*record_path, recorded);
                 std::printf("recorded %zu trace records to %s\n",
@@ -138,6 +189,33 @@ cmdForkbench(std::vector<std::string> args)
     if (stats_path)
         std::printf("component stats appended to %s\n",
                     stats_path->c_str());
+    if (sample_path)
+        std::printf("stats samples written to %s\n", sample_path->c_str());
+    if (trace_path) {
+        std::uint64_t events = trace::eventCount();
+        std::uint64_t dropped = trace::droppedCount();
+        trace::stop();
+        std::printf("trace written to %s (%llu events",
+                    trace_path->c_str(), (unsigned long long)events);
+        if (dropped > 0)
+            std::printf(", %llu dropped at --trace-limit",
+                        (unsigned long long)dropped);
+        std::printf(")\n");
+    }
+    return 0;
+}
+
+int
+cmdListDebugFlags()
+{
+    std::printf("%-10s %s\n", "flag", "trace points");
+    for (unsigned i = 0; i < unsigned(debug::Flag::NumFlags); ++i) {
+        auto flag = debug::Flag(i);
+        std::printf("%-10s %s\n", debug::flagName(flag),
+                    debug::flagDescription(flag));
+    }
+    std::printf("\nEnable with OVL_DEBUG=<flag>[,<flag>...] or"
+                " OVL_DEBUG=all.\n");
     return 0;
 }
 
@@ -320,5 +398,7 @@ main(int argc, char **argv)
         return cmdTrace(std::move(args));
     if (cmd == "config")
         return cmdConfig();
+    if (cmd == "list-debug-flags")
+        return cmdListDebugFlags();
     return usage();
 }
