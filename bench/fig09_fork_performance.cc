@@ -7,9 +7,19 @@
  * The 30 System runs (15 benchmarks x 2 fork modes) are independent, so
  * they fan out over the parallel sweep runner (`--jobs N`, OVL_JOBS);
  * rows render in suite order afterwards, byte-identical to `--jobs 1`.
+ *
+ * `--sample-interval N` switches the suite to sampled simulation
+ * (DESIGN.md §10): each window of N post-fork instructions runs a
+ * detailed prefix (`--detail M`, default N/10) and fast-forwards the
+ * rest functionally; CPI is extrapolated per window. `--sample-check`
+ * additionally runs the full-detail twin of every row and reports the
+ * extrapolation error, failing if the mean CPI error exceeds
+ * `--sample-check-threshold PCT` (default 5).
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "sim/parallel.hh"
@@ -21,9 +31,58 @@ using namespace ovl;
 int
 main(int argc, char **argv)
 {
-    unsigned jobs = jobsFromCommandLine(argc, argv);
+    unsigned jobs = defaultJobs();
+    SampledSimParams sampled;
+    double check_threshold = 5.0;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--progress") == 0) {
+            setProgressEnabled(true);
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            jobs = unsigned(std::strtoul(value("--jobs"), nullptr, 10));
+            if (jobs == 0) {
+                std::fprintf(stderr, "%s: invalid --jobs value\n", argv[0]);
+                return 1;
+            }
+        } else if (std::strcmp(argv[i], "--sample-interval") == 0) {
+            sampled.intervalInstructions =
+                std::strtoull(value("--sample-interval"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--detail") == 0) {
+            sampled.detailedInstructions =
+                std::strtoull(value("--detail"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--sample-check") == 0) {
+            check = true;
+        } else if (std::strcmp(argv[i], "--sample-check-threshold") == 0) {
+            check_threshold =
+                std::strtod(value("--sample-check-threshold"), nullptr);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--progress]"
+                         " [--sample-interval N [--detail M]"
+                         " [--sample-check"
+                         " [--sample-check-threshold PCT]]]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (check && sampled.intervalInstructions == 0) {
+        std::fprintf(stderr, "%s: --sample-check needs --sample-interval\n",
+                     argv[0]);
+        return 1;
+    }
+    sampled.compareFull = check;
 
-    std::printf("Figure 9: CPI after a fork (lower is better)\n\n");
+    const bool sampling = sampled.intervalInstructions != 0;
+    std::printf("Figure 9: CPI after a fork (lower is better)%s\n\n",
+                sampling ? " [sampled simulation]" : "");
     std::printf("%-10s %-5s %14s %16s %9s\n", "benchmark", "type",
                 "copy-on-write", "overlay-on-write", "speedup");
     std::printf("%.*s\n", 58,
@@ -33,12 +92,23 @@ main(int argc, char **argv)
     // Item 2i is benchmark i under CoW, item 2i+1 under OoW: one System
     // per item for the best load balance across workers.
     const std::vector<ForkBenchParams> &suite = forkBenchSuite();
-    std::vector<ForkBenchResult> results = parallelMap(
+    std::vector<ForkBenchResult> results(suite.size() * 2);
+    std::vector<ForkBenchSampledResult> sampled_results(
+        sampling ? suite.size() * 2 : 0);
+    parallelMap(
         suite.size() * 2,
-        [&suite](std::size_t i) {
+        [&](std::size_t i) {
             ForkMode mode = i % 2 ? ForkMode::OverlayOnWrite
                                   : ForkMode::CopyOnWrite;
-            return runForkBench(suite[i / 2], mode, SystemConfig{});
+            if (sampling) {
+                sampled_results[i] = runForkBenchSampled(
+                    suite[i / 2], mode, SystemConfig{}, sampled);
+                results[i] = sampled_results[i].sampled;
+            } else {
+                results[i] =
+                    runForkBench(suite[i / 2], mode, SystemConfig{});
+            }
+            return 0;
         },
         jobs,
         [&suite](std::size_t i) {
@@ -66,6 +136,34 @@ main(int argc, char **argv)
     std::printf("%.*s\n", 58,
                 "------------------------------------------------------"
                 "----");
+
+    if (check) {
+        std::printf("\nSampled-vs-full extrapolation error (CPI %% / mean"
+                    " window %% / max window %%):\n");
+        double mean_cpi_err = 0;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const ForkBenchSampledResult &cow = sampled_results[2 * i];
+            const ForkBenchSampledResult &oow = sampled_results[2 * i + 1];
+            std::printf("%-10s cow %6.2f / %6.2f / %6.2f   oow %6.2f /"
+                        " %6.2f / %6.2f\n",
+                        suite[i].name.c_str(), cow.cpiErrorPct,
+                        cow.meanWindowErrorPct, cow.maxWindowErrorPct,
+                        oow.cpiErrorPct, oow.meanWindowErrorPct,
+                        oow.maxWindowErrorPct);
+            mean_cpi_err += cow.cpiErrorPct + oow.cpiErrorPct;
+        }
+        mean_cpi_err /= double(suite.size() * 2);
+        std::printf("mean CPI error: %.2f%% (threshold %.2f%%)\n",
+                    mean_cpi_err, check_threshold);
+        if (mean_cpi_err > check_threshold) {
+            std::fprintf(stderr,
+                         "sample-check FAILED: mean CPI error %.2f%% >"
+                         " %.2f%%\n",
+                         mean_cpi_err, check_threshold);
+            return 1;
+        }
+    }
+
     std::printf("\nPaper: overlay-on-write improves performance by 15%% on"
                 " average;\n       cactus is the one benchmark where"
                 " copy-on-write wins (clustered writes).\n");

@@ -18,9 +18,12 @@
  * a jobs mismatch but always checks simulated_ticks.
  *
  * Usage: host_throughput [-o out.json] [--scale N] [--jobs N]
+ *                        [--only NAME]
  *                        [--sample-interval N --stats-out FILE]
  *                        [--trace-out FILE [--trace-limit N]]
  *   --scale multiplies every workload's access count (default 1).
+ *   --only runs a single workload by name (repeatable; profiling and
+ *     per-workload A/B runs want an unpolluted measurement).
  *   --jobs runs the five workloads on N worker threads (default 1:
  *     serial, the measurement-isolation default for this harness).
  *   --sample-interval/--stats-out stream a JSONL stats sample every N
@@ -256,6 +259,60 @@ forkCow(std::uint64_t accesses, StatsSampler *sampler)
     return Result{"fork_cow", done - kPages, secs, t};
 }
 
+/**
+ * Sampled-simulation variant of fork_cow (DESIGN.md §10): one fork/
+ * write/teardown iteration in every kDetailEvery runs through the
+ * detailed timing model; the rest fast-forward functionally
+ * (forkFunctional / accessFunctional / destroyProcessFunctional —
+ * architectural state plus cache/TLB warming, zero tick movement).
+ * `accesses` counts every simulated access, detailed or functional, so
+ * Maccess_per_s measures the effective simulation rate of the sampled
+ * mode. simulated_ticks is the detailed-window tick total — still a
+ * deterministic fingerprint, but only comparable against other sampled
+ * runs.
+ */
+Result
+forkCowSampled(std::uint64_t accesses, StatsSampler *sampler)
+{
+    System sys;
+    Asid parent = sys.createProcess();
+    constexpr std::uint64_t kPages = 512;
+    constexpr std::uint64_t kDetailEvery = 8;
+    sys.mapAnon(parent, kBase, kPages * kPageSize);
+    SamplerScope scope(sys, sampler);
+
+    Tick t = 0;
+    for (std::uint64_t pg = 0; pg < kPages; ++pg) {
+        std::uint64_t val = pg;
+        t = sys.write(parent, kBase + pg * kPageSize, &val, sizeof(val), t);
+    }
+    std::uint64_t done = kPages;
+    std::uint64_t iter = 0;
+    auto start = Clock::now();
+    while (done < accesses) {
+        bool detailed = iter++ % kDetailEvery == 0;
+        if (detailed) {
+            Asid child = sys.fork(parent, ForkMode::OverlayOnWrite, t, &t);
+            for (std::uint64_t pg = 0; pg < kPages && done < accesses;
+                 ++pg, ++done) {
+                t = sys.access(child, kBase + pg * kPageSize, true, t);
+            }
+            sys.destroyProcess(child, t);
+        } else {
+            Asid child = sys.forkFunctional(parent,
+                                            ForkMode::OverlayOnWrite);
+            for (std::uint64_t pg = 0; pg < kPages && done < accesses;
+                 ++pg, ++done) {
+                sys.accessFunctional(child, kBase + pg * kPageSize, true);
+            }
+            sys.destroyProcessFunctional(child);
+        }
+    }
+    double secs = elapsed(start);
+    scope.finish(t);
+    return Result{"fork_cow_sampled", done - kPages, secs, t};
+}
+
 void
 writeJson(const std::vector<Result> &results, const std::string &path,
           unsigned jobs, double wall_seconds)
@@ -293,6 +350,7 @@ main(int argc, char **argv)
     // Unlike the sweep benches, this harness measures host throughput,
     // so it defaults to jobs=1 (serial) for measurement isolation.
     unsigned jobs = 1;
+    std::vector<std::string> only;
     Tick sample_interval = 0;
     std::string sample_path;
     std::string trace_path;
@@ -309,6 +367,8 @@ main(int argc, char **argv)
                              argv[0]);
                 return 1;
             }
+        } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+            only.emplace_back(argv[++i]);
         } else if (std::strcmp(argv[i], "--sample-interval") == 0 &&
                    i + 1 < argc) {
             sample_interval = std::strtoull(argv[++i], nullptr, 10);
@@ -324,6 +384,7 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [-o out.json] [--scale N] [--jobs N]"
+                         " [--only NAME]"
                          " [--sample-interval N --stats-out FILE]"
                          " [--trace-out FILE [--trace-limit N]]\n",
                          argv[0]);
@@ -354,20 +415,39 @@ main(int argc, char **argv)
     if (!trace_path.empty())
         trace::start(trace_path, trace_limit);
 
-    Result (*const workloads[])(std::uint64_t, StatsSampler *) = {
-        seqRead, seqWrite, randomMix, sparseSpmv, forkCow,
+    Result (*const all_workloads[])(std::uint64_t, StatsSampler *) = {
+        seqRead, seqWrite, randomMix, sparseSpmv, forkCow, forkCowSampled,
     };
-    const char *const names[] = {
-        "seq_read", "seq_write", "random_mix", "sparse_spmv", "fork_cow",
+    const char *const all_names[] = {
+        "seq_read",    "seq_write", "random_mix",
+        "sparse_spmv", "fork_cow",  "fork_cow_sampled",
     };
-    const std::uint64_t counts[] = {
+    const std::uint64_t all_counts[] = {
         4'000'000 * scale, 4'000'000 * scale, 2'000'000 * scale,
-        2'000'000 * scale, 1'000'000 * scale,
+        2'000'000 * scale, 1'000'000 * scale, 1'000'000 * scale,
     };
+
+    std::vector<Result (*)(std::uint64_t, StatsSampler *)> workloads;
+    std::vector<std::string> names;
+    std::vector<std::uint64_t> counts;
+    for (std::size_t i = 0; i < std::size(all_workloads); ++i) {
+        bool selected = only.empty();
+        for (const std::string &name : only)
+            selected = selected || name == all_names[i];
+        if (selected) {
+            workloads.push_back(all_workloads[i]);
+            names.emplace_back(all_names[i]);
+            counts.push_back(all_counts[i]);
+        }
+    }
+    if (workloads.empty()) {
+        std::fprintf(stderr, "%s: --only matched no workload\n", argv[0]);
+        return 1;
+    }
 
     auto wall_start = Clock::now();
     std::vector<Result> results = parallelMap(
-        std::size(workloads),
+        workloads.size(),
         [&](std::size_t i) {
             std::optional<StatsSampler> sampler;
             if (sample_interval > 0) {
@@ -377,7 +457,7 @@ main(int argc, char **argv)
             return workloads[i](counts[i], sampler ? &*sampler : nullptr);
         },
         jobs,
-        [&names](std::size_t i) { return std::string(names[i]); });
+        [&names](std::size_t i) { return names[i]; });
     double wall_seconds = elapsed(wall_start);
     if (!trace_path.empty()) {
         trace::stop();

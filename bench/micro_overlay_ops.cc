@@ -50,12 +50,18 @@ BM_OmtCacheLookup(benchmark::State &state)
 }
 BENCHMARK(BM_OmtCacheLookup)->Arg(32)->Arg(64)->Arg(4096);
 
+Addr
+bumpPage(void *ctx)
+{
+    return *static_cast<Addr *>(ctx) += kPageSize;
+}
+
 void
 BM_OmsAllocateRelease(benchmark::State &state)
 {
     Addr next = 0;
     OmsAllocator alloc("oms", OmsAllocatorParams{},
-                       [&next] { return next += kPageSize; });
+                       PageAllocFn{&bumpPage, &next});
     Rng rng(3);
     for (auto _ : state) {
         auto cls = SegClass(rng.below(kNumSegClasses));

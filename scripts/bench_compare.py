@@ -17,10 +17,19 @@ runs used different --jobs counts, host throughput is not comparable
 (workloads contend for cores when jobs > 1), so the throughput gate is
 skipped with a note — the simulated_ticks determinism check still
 applies.
+
+--normalize divides every per-workload ratio by the geometric-mean
+ratio across the workloads common to both files before applying the
+threshold. Absolute Maccess_per_s depends on the host (a CI runner is
+not the machine that produced the committed baseline), but the *shape*
+of the profile does not: one workload slowing down relative to the
+others survives normalization, a uniformly slower machine does not.
+Use it to gate CI runs against a committed reference.
 """
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -30,12 +39,28 @@ def main():
     ap.add_argument("candidate")
     ap.add_argument("--threshold", type=float, default=5.0,
                     help="regression threshold in percent (default 5)")
+    ap.add_argument("--normalize", action="store_true",
+                    help="divide each ratio by the geomean ratio over "
+                         "common workloads (cross-host comparisons)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
         base = json.load(f)
     with open(args.candidate) as f:
         cand = json.load(f)
+
+    norm = 1.0
+    if args.normalize:
+        ratios = [cand[n]["Maccess_per_s"] / base[n]["Maccess_per_s"]
+                  for n in base
+                  if n in cand
+                  and base[n].get("Maccess_per_s")
+                  and cand[n].get("Maccess_per_s")]
+        if ratios:
+            norm = math.exp(sum(math.log(r) for r in ratios)
+                            / len(ratios))
+            print(f"normalizing by geomean ratio {norm:.3f} "
+                  f"({len(ratios)} workloads)")
 
     failed = False
     print(f"{'workload':<14}{'base MA/s':>12}{'cand MA/s':>12}"
@@ -67,7 +92,7 @@ def main():
             notes.append("Maccess_per_s missing")
             failed = True
         else:
-            delta = (cm - bm) / bm * 100.0
+            delta = (cm / norm - bm) / bm * 100.0
             delta_text = f"{delta:>+8.1f}%"
             if b_jobs != c_jobs:
                 notes.append(f"jobs differ ({b_jobs} vs {c_jobs}); "

@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include <algorithm>
+
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -10,7 +12,8 @@ SetAssocCache::SetAssocCache(std::string name, CacheParams params)
     : SimObject(std::move(name)), params_(params),
       numSets_(unsigned(params.sizeBytes / kLineSize / params.associativity)),
       ways_(params.associativity),
-      lines_(std::size_t(numSets_) * ways_),
+      tags_(std::size_t(numSets_) * ways_, kInvalidAddr),
+      state_(std::size_t(numSets_) * ways_),
       replStates_(std::size_t(numSets_) * ways_),
       repl_(params.replPolicy, numSets_),
       hits_(&statGroup(), "hits", "demand hits"),
@@ -30,29 +33,29 @@ SetAssocCache::SetAssocCache(std::string name, CacheParams params)
 std::optional<Eviction>
 SetAssocCache::invalidate(Addr line_addr)
 {
-    if (Line *line = findLine(line_addr)) {
-        Eviction ev{line->tag, line->dirty};
-        line->valid = false;
-        line->dirty = false;
-        return ev;
-    }
-    return std::nullopt;
+    std::size_t i = findIndex(line_addr);
+    if (i == kNotFound)
+        return std::nullopt;
+    Eviction ev{tags_[i], state_[i].dirty};
+    tags_[i] = kInvalidAddr;
+    state_[i].dirty = false;
+    return ev;
 }
 
 bool
 SetAssocCache::retag(Addr old_addr, Addr new_addr)
 {
-    Line *line = findLine(old_addr);
-    if (line == nullptr)
+    std::size_t i = findIndex(old_addr);
+    if (i == kNotFound)
         return false;
     if (setIndex(old_addr) != setIndex(new_addr)) {
         // The overlay address indexes a different set; hardware would do
         // an explicit line copy instead (§4.3.3). Caller handles it.
         return false;
     }
-    if (findLine(new_addr) != nullptr)
+    if (findIndex(new_addr) != kNotFound)
         return false;
-    line->tag = new_addr;
+    tags_[i] = new_addr;
     ++retags_;
     return true;
 }
@@ -60,11 +63,8 @@ SetAssocCache::retag(Addr old_addr, Addr new_addr)
 void
 SetAssocCache::flushAll()
 {
-    for (Line &line : lines_) {
-        line.valid = false;
-        line.dirty = false;
-        line.prefetched = false;
-    }
+    std::fill(tags_.begin(), tags_.end(), kInvalidAddr);
+    std::fill(state_.begin(), state_.end(), LineState{});
 }
 
 } // namespace ovl

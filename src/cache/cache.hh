@@ -92,6 +92,17 @@ class SetAssocCache : public SimObject
     std::optional<Eviction> fill(Addr line_addr, bool dirty,
                                  bool is_prefetch = false);
 
+    /**
+     * access()/fill() minus the statistics: functional warming (sampled
+     * simulation, DESIGN.md §10) moves tags, dirtiness and replacement
+     * state exactly like the demand path while staying invisible to
+     * every counter — a warmed cache dumps the same stats it would have
+     * dumped before the functional burst.
+     */
+    CacheAccessResult warmAccess(Addr line_addr, bool is_write);
+    std::optional<Eviction> warmFill(Addr line_addr, bool dirty,
+                                     bool is_prefetch = false);
+
     /** Tag probe without any state update. */
     bool isPresent(Addr line_addr) const;
 
@@ -114,6 +125,23 @@ class SetAssocCache : public SimObject
      */
     bool retag(Addr old_addr, Addr new_addr);
 
+    /** Result of a fused moveLine(): whether the line was resident, and
+     *  any victim displaced by the cross-set fallback fill. */
+    struct MoveResult
+    {
+        bool found = false;
+        std::optional<Eviction> eviction;
+    };
+
+    /**
+     * Fused retag-or-move: the overlaying write's tag update (§4.3.3)
+     * resolved in a single scan of the source set. Semantically identical
+     * to isPresent() + retag() with an invalidate() + fill() fallback —
+     * counter for counter, replacement state for replacement state — but
+     * without rescanning the tags at every step.
+     */
+    MoveResult moveLine(Addr old_addr, Addr new_addr);
+
     /** Drop every line (used between experiment phases). */
     void flushAll();
 
@@ -122,12 +150,11 @@ class SetAssocCache : public SimObject
     void
     writebackAll(Sink &&sink)
     {
-        for (std::size_t i = 0; i < lines_.size(); ++i) {
-            Line &line = lines_[i];
-            if (line.valid && line.dirty)
-                sink(line.tag);
-            line.valid = false;
-            line.dirty = false;
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (tags_[i] != kInvalidAddr && state_[i].dirty)
+                sink(tags_[i]);
+            tags_[i] = kInvalidAddr;
+            state_[i].dirty = false;
         }
     }
 
@@ -135,29 +162,42 @@ class SetAssocCache : public SimObject
     std::uint64_t misses() const { return misses_.value(); }
 
   private:
-    struct Line
+    /** Per-line flags; validity lives in the tag (kInvalidAddr = empty). */
+    struct LineState
     {
-        Addr tag = kInvalidAddr; ///< full line address
-        bool valid = false;
         bool dirty = false;
         bool prefetched = false;
     };
 
+    /** No way holds the address (sentinel index into tags_/state_). */
+    static constexpr std::size_t kNotFound = ~std::size_t(0);
+
     unsigned setIndex(Addr line_addr) const;
-    Line *findLine(Addr line_addr);
-    const Line *findLine(Addr line_addr) const;
+    std::size_t findIndex(Addr line_addr) const;
     /**
-     * Insert into set @p set_idx, reusing @p slot if the caller already
-     * found an invalid way (nullptr = all ways valid, pick a victim).
+     * Insert into set @p set_idx, reusing way @p way if the caller already
+     * found an invalid one (ways_ = all valid, pick a victim). @p count
+     * false suppresses the writeback/prefetch-fill counters (functional
+     * warming).
      */
-    std::optional<Eviction> insertAt(unsigned set_idx, Line *slot,
+    std::optional<Eviction> insertAt(unsigned set_idx, unsigned way,
                                      Addr line_addr, bool dirty,
-                                     bool is_prefetch);
+                                     bool is_prefetch, bool count = true);
 
     CacheParams params_;
     unsigned numSets_;
     unsigned ways_;
-    std::vector<Line> lines_; ///< numSets_ x ways_, row-major by set
+    /**
+     * Tag store, numSets_ x ways_ row-major by set, kInvalidAddr in empty
+     * ways. Tags sit alone in a dense Addr array — the way scan is the
+     * single hottest loop in the simulator, and packing one 8-byte tag
+     * per way (instead of a 16-byte line struct) halves the bytes it
+     * touches while freeing the compiler to vectorize the compares. A
+     * real line address is line-aligned and can never equal kInvalidAddr.
+     */
+    std::vector<Addr> tags_;
+    /** Dirty/prefetched flags, parallel to tags_ (off the scan path). */
+    std::vector<LineState> state_;
     /**
      * Replacement metadata, parallel to lines_. Kept in its own dense
      * array so selectVictim can age a whole set in place — the previous
@@ -183,46 +223,38 @@ SetAssocCache::setIndex(Addr line_addr) const
     return unsigned((line_addr >> kLineShift) & (numSets_ - 1));
 }
 
-inline SetAssocCache::Line *
-SetAssocCache::findLine(Addr line_addr)
+inline std::size_t
+SetAssocCache::findIndex(Addr line_addr) const
 {
-    Line *set = &lines_[std::size_t(setIndex(line_addr)) * ways_];
+    std::size_t base = std::size_t(setIndex(line_addr)) * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].tag == line_addr)
-            return &set[w];
+        if (tags_[base + w] == line_addr)
+            return base + w;
     }
-    return nullptr;
-}
-
-inline const SetAssocCache::Line *
-SetAssocCache::findLine(Addr line_addr) const
-{
-    return const_cast<SetAssocCache *>(this)->findLine(line_addr);
+    return kNotFound;
 }
 
 inline std::optional<Eviction>
-SetAssocCache::insertAt(unsigned set_idx, Line *slot, Addr line_addr,
-                        bool dirty, bool is_prefetch)
+SetAssocCache::insertAt(unsigned set_idx, unsigned way, Addr line_addr,
+                        bool dirty, bool is_prefetch, bool count)
 {
     std::size_t base = std::size_t(set_idx) * ways_;
     std::optional<Eviction> evicted;
-    if (slot == nullptr) {
+    if (way == ways_) {
         // All ways valid: consult the replacement policy. RRIP aging
         // mutates the set's states in place.
-        unsigned victim = repl_.selectVictim(&replStates_[base], ways_);
-        slot = &lines_[base + victim];
-        evicted = Eviction{slot->tag, slot->dirty};
-        if (slot->dirty)
+        way = repl_.selectVictim(&replStates_[base], ways_);
+        evicted = Eviction{tags_[base + way], state_[base + way].dirty};
+        if (state_[base + way].dirty && count)
             ++writebacks_;
     }
 
-    slot->tag = line_addr;
-    slot->valid = true;
-    slot->dirty = dirty;
-    slot->prefetched = is_prefetch;
-    repl_.onInsert(replStates_[base + unsigned(slot - &lines_[base])],
-                   set_idx, is_prefetch);
-    if (is_prefetch)
+    tags_[base + way] = line_addr;
+    LineState &st = state_[base + way];
+    st.dirty = dirty;
+    st.prefetched = is_prefetch;
+    repl_.onInsert(replStates_[base + way], set_idx, is_prefetch);
+    if (is_prefetch && count)
         ++prefetchFills_;
     return evicted;
 }
@@ -234,29 +266,27 @@ SetAssocCache::access(Addr line_addr, bool is_write)
     // way together, so a miss does not rescan tags in insert().
     unsigned set_idx = setIndex(line_addr);
     std::size_t base = std::size_t(set_idx) * ways_;
-    Line *set = &lines_[base];
-    Line *invalid_slot = nullptr;
+    const Addr *tags = &tags_[base];
+    unsigned invalid_way = ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        Line &line = set[w];
-        if (line.valid) {
-            if (line.tag == line_addr) {
-                ++hits_;
-                if (line.prefetched) {
-                    ++prefetchHits_;
-                    line.prefetched = false;
-                }
-                repl_.onHit(replStates_[base + w]);
-                if (is_write)
-                    line.dirty = true;
-                return CacheAccessResult{true, std::nullopt};
+        if (tags[w] == line_addr) {
+            ++hits_;
+            LineState &st = state_[base + w];
+            if (st.prefetched) {
+                ++prefetchHits_;
+                st.prefetched = false;
             }
-        } else if (invalid_slot == nullptr) {
-            invalid_slot = &line;
+            repl_.onHit(replStates_[base + w]);
+            if (is_write)
+                st.dirty = true;
+            return CacheAccessResult{true, std::nullopt};
         }
+        if (tags[w] == kInvalidAddr && invalid_way == ways_)
+            invalid_way = w;
     }
     ++misses_;
     repl_.onMiss(set_idx);
-    auto eviction = insertAt(set_idx, invalid_slot, line_addr, is_write,
+    auto eviction = insertAt(set_idx, invalid_way, line_addr, is_write,
                              false);
     return CacheAccessResult{false, eviction};
 }
@@ -267,33 +297,118 @@ SetAssocCache::fill(Addr line_addr, bool dirty, bool is_prefetch)
     // Same single-pass structure as access(): hit way and first invalid
     // way in one scan.
     unsigned set_idx = setIndex(line_addr);
-    Line *set = &lines_[std::size_t(set_idx) * ways_];
-    Line *invalid_slot = nullptr;
+    std::size_t base = std::size_t(set_idx) * ways_;
+    const Addr *tags = &tags_[base];
+    unsigned invalid_way = ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        Line &line = set[w];
-        if (line.valid) {
-            if (line.tag == line_addr) {
-                line.dirty = line.dirty || dirty;
-                return std::nullopt;
-            }
-        } else if (invalid_slot == nullptr) {
-            invalid_slot = &line;
+        if (tags[w] == line_addr) {
+            state_[base + w].dirty = state_[base + w].dirty || dirty;
+            return std::nullopt;
         }
+        if (tags[w] == kInvalidAddr && invalid_way == ways_)
+            invalid_way = w;
     }
-    return insertAt(set_idx, invalid_slot, line_addr, dirty, is_prefetch);
+    return insertAt(set_idx, invalid_way, line_addr, dirty, is_prefetch);
+}
+
+inline CacheAccessResult
+SetAssocCache::warmAccess(Addr line_addr, bool is_write)
+{
+    unsigned set_idx = setIndex(line_addr);
+    std::size_t base = std::size_t(set_idx) * ways_;
+    const Addr *tags = &tags_[base];
+    unsigned invalid_way = ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags[w] == line_addr) {
+            LineState &st = state_[base + w];
+            st.prefetched = false;
+            repl_.onHit(replStates_[base + w]);
+            if (is_write)
+                st.dirty = true;
+            return CacheAccessResult{true, std::nullopt};
+        }
+        if (tags[w] == kInvalidAddr && invalid_way == ways_)
+            invalid_way = w;
+    }
+    repl_.onMiss(set_idx);
+    auto eviction = insertAt(set_idx, invalid_way, line_addr, is_write,
+                             false, /*count=*/false);
+    return CacheAccessResult{false, eviction};
+}
+
+inline std::optional<Eviction>
+SetAssocCache::warmFill(Addr line_addr, bool dirty, bool is_prefetch)
+{
+    unsigned set_idx = setIndex(line_addr);
+    std::size_t base = std::size_t(set_idx) * ways_;
+    const Addr *tags = &tags_[base];
+    unsigned invalid_way = ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags[w] == line_addr) {
+            state_[base + w].dirty = state_[base + w].dirty || dirty;
+            return std::nullopt;
+        }
+        if (tags[w] == kInvalidAddr && invalid_way == ways_)
+            invalid_way = w;
+    }
+    return insertAt(set_idx, invalid_way, line_addr, dirty, is_prefetch,
+                    /*count=*/false);
+}
+
+inline SetAssocCache::MoveResult
+SetAssocCache::moveLine(Addr old_addr, Addr new_addr)
+{
+    // One pass over the source set finds both the line to move and (when
+    // the destination indexes the same set) any resident destination
+    // line. A line tagged new_addr can only live in set(new_addr), so
+    // the same-set probe is complete.
+    unsigned old_set = setIndex(old_addr);
+    std::size_t base = std::size_t(old_set) * ways_;
+    Addr *tags = &tags_[base];
+    unsigned old_way = ways_;
+    unsigned new_way = ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags[w] == old_addr)
+            old_way = w;
+        else if (tags[w] == new_addr)
+            new_way = w;
+    }
+    if (old_way == ways_)
+        return MoveResult{};
+    if (setIndex(new_addr) == old_set) {
+        if (new_way == ways_) {
+            // In-place tag update: the §4.3.3 fast path.
+            tags[old_way] = new_addr;
+            ++retags_;
+            return MoveResult{true, std::nullopt};
+        }
+        // Destination already resident: fold the source's dirtiness into
+        // it (the invalidate + present-line fill of the fallback path).
+        state_[base + new_way].dirty =
+            state_[base + new_way].dirty || state_[base + old_way].dirty;
+        tags[old_way] = kInvalidAddr;
+        state_[base + old_way].dirty = false;
+        return MoveResult{true, std::nullopt};
+    }
+    // The overlay address indexes a different set; hardware would do an
+    // explicit line copy instead (§4.3.3): invalidate + fill.
+    bool dirty = state_[base + old_way].dirty;
+    tags[old_way] = kInvalidAddr;
+    state_[base + old_way].dirty = false;
+    return MoveResult{true, fill(new_addr, dirty)};
 }
 
 inline bool
 SetAssocCache::isPresent(Addr line_addr) const
 {
-    return findLine(line_addr) != nullptr;
+    return findIndex(line_addr) != kNotFound;
 }
 
 inline bool
 SetAssocCache::isPrefetched(Addr line_addr) const
 {
-    const Line *line = findLine(line_addr);
-    return line != nullptr && line->prefetched;
+    std::size_t i = findIndex(line_addr);
+    return i != kNotFound && state_[i].prefetched;
 }
 
 } // namespace ovl

@@ -48,35 +48,27 @@ CacheHierarchy::invalidateLine(Addr line_addr, Tick when)
     }
 }
 
+void
+CacheHierarchy::dropLine(Addr line_addr)
+{
+    l1_.invalidate(line_addr);
+    l2_.invalidate(line_addr);
+    l3_.invalidate(line_addr);
+}
+
 bool
 CacheHierarchy::retagLine(Addr old_addr, Addr new_addr, Tick when)
 {
-    bool found = false;
-    if (l1_.isPresent(old_addr)) {
-        found = true;
-        if (!l1_.retag(old_addr, new_addr)) {
-            auto ev = l1_.invalidate(old_addr);
-            if (auto victim = l1_.fill(new_addr, ev && ev->dirty))
-                handleL1Victim(*victim, when);
-        }
-    }
-    if (l2_.isPresent(old_addr)) {
-        found = true;
-        if (!l2_.retag(old_addr, new_addr)) {
-            auto ev = l2_.invalidate(old_addr);
-            if (auto victim = l2_.fill(new_addr, ev && ev->dirty))
-                handleL2Victim(*victim, when);
-        }
-    }
-    if (l3_.isPresent(old_addr)) {
-        found = true;
-        if (!l3_.retag(old_addr, new_addr)) {
-            auto ev = l3_.invalidate(old_addr);
-            if (auto victim = l3_.fill(new_addr, ev && ev->dirty))
-                handleL3Victim(*victim, when);
-        }
-    }
-    return found;
+    auto mv1 = l1_.moveLine(old_addr, new_addr);
+    if (mv1.eviction)
+        handleL1Victim(*mv1.eviction, when);
+    auto mv2 = l2_.moveLine(old_addr, new_addr);
+    if (mv2.eviction)
+        handleL2Victim(*mv2.eviction, when);
+    auto mv3 = l3_.moveLine(old_addr, new_addr);
+    if (mv3.eviction)
+        handleL3Victim(*mv3.eviction, when);
+    return mv1.found || mv2.found || mv3.found;
 }
 
 void

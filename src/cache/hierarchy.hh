@@ -90,6 +90,27 @@ class CacheHierarchy : public SimObject
     void invalidateLine(Addr line_addr, Tick when);
 
     /**
+     * Drop a line everywhere without writing it back — the functional
+     * fast-forward's teardown path (sampled simulation): the line's data
+     * lives in the functional stores, and charging a writeback would
+     * mutate DRAM timing state, which functional mode must not do.
+     */
+    void dropLine(Addr line_addr);
+
+    /**
+     * Functional warming (sampled simulation, DESIGN.md §10): replay the
+     * tag and replacement-state movement of access() with zero tick
+     * movement — no latencies, no statistics, no DRAM traffic, no
+     * prefetcher training. Dirty victims cascade as tag fills exactly as
+     * in the detailed path, but the final writeback is dropped (the data
+     * lives in the functional stores). This keeps the hierarchy's
+     * contents tracking the program during a functional fast-forward, so
+     * the next detailed window starts from warm state instead of
+     * measuring an artificial cold-start transient.
+     */
+    void warmLine(Addr line_addr, bool is_write);
+
+    /**
      * Retag a line from the regular physical space to the overlay space
      * in whichever level holds it — the overlaying write's tag update
      * (§4.3.3). Falls back to invalidate+fill when retagging in place is
@@ -173,6 +194,39 @@ CacheHierarchy::handleL1Victim(const Eviction &ev, Tick when)
         return;
     if (auto l2_victim = l2_.fill(ev.lineAddr, true))
         handleL2Victim(*l2_victim, when);
+}
+
+inline void
+CacheHierarchy::warmLine(Addr line_addr, bool is_write)
+{
+    ovl_assert((line_addr & kLineMask) == 0, "unaligned line address");
+    CacheAccessResult l1_res = l1_.warmAccess(line_addr, is_write);
+    if (l1_res.eviction && l1_res.eviction->dirty) {
+        if (auto l2_victim =
+                l2_.warmFill(l1_res.eviction->lineAddr, true)) {
+            if (l2_victim->dirty)
+                l3_.warmFill(l2_victim->lineAddr, true);
+        }
+    }
+    if (l1_res.hit)
+        return;
+    CacheAccessResult l2_res = l2_.warmAccess(line_addr, false);
+    if (l2_res.eviction && l2_res.eviction->dirty)
+        l3_.warmFill(l2_res.eviction->lineAddr, true);
+    if (l2_res.hit)
+        return;
+    // Train the prefetcher on L2 demand misses like the detailed path,
+    // with tag-only fills: the bandwidth gate (prefetchBusyUntil_) is
+    // timing state, so warming assumes prefetches are serviced.
+    prefetchScratch_.clear();
+    prefetcher_.notifyMiss(line_addr, prefetchScratch_);
+    for (Addr pf_addr : prefetchScratch_) {
+        if (!l1_.isPresent(pf_addr) && !l2_.isPresent(pf_addr) &&
+            !l3_.isPresent(pf_addr)) {
+            l3_.warmFill(pf_addr, false, true);
+        }
+    }
+    l3_.warmAccess(line_addr, false);
 }
 
 inline bool

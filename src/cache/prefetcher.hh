@@ -64,22 +64,32 @@ class StreamPrefetcher : public SimObject
     std::uint64_t issued() const { return issued_.value(); }
 
   private:
+    /** Per-stream training state (off the scan path; see the SoA note). */
     struct Stream
     {
-        bool valid = false;
         bool confirmed = false;   ///< direction established
         int direction = 1;        ///< +1 ascending, -1 descending
         unsigned strikes = 0;     ///< consecutive wrong-direction trainings
-        Addr lastLine = 0;        ///< last demand line observed (line index)
         Addr prefetchHead = 0;    ///< next line index to prefetch
-        std::uint64_t lruSeq = 0;
     };
 
-    Stream *findStream(Addr line_index);
-    Stream *allocateStream();
+    /** Stream index within a trainWindow of @p line_index, or -1. */
+    int findStream(Addr line_index) const;
+    /** First invalid stream, or the table-order-first LRU victim. */
+    unsigned allocateStream();
 
     PrefetcherParams params_;
     std::vector<Stream> streams_;
+    /**
+     * Scan-path state, struct-of-arrays: findStream() runs on every L2
+     * demand miss and touches only lastLines_ (plus the valid mask), and
+     * allocateStream() only lruSeqs_ — dense 8-byte arrays instead of a
+     * stride over full Stream records. The mask bounds the table at 64
+     * streams (Table 2 uses 16).
+     */
+    std::vector<Addr> lastLines_;        ///< last demand line observed
+    std::vector<std::uint64_t> lruSeqs_; ///< recency, parallel to streams_
+    std::uint64_t validMask_ = 0;        ///< bit i = streams_[i] is live
     std::uint64_t lruCounter_ = 0;
 
     stats::Counter trainings_;
@@ -89,20 +99,22 @@ class StreamPrefetcher : public SimObject
 
 // ------------------------ inline hot path ------------------------------
 
-inline StreamPrefetcher::Stream *
-StreamPrefetcher::findStream(Addr line_index)
+inline int
+StreamPrefetcher::findStream(Addr line_index) const
 {
-    for (Stream &s : streams_) {
-        if (!s.valid)
-            continue;
+    // Ascending bit scan preserves the original first-match-in-table
+    // order exactly.
+    const std::int64_t window = std::int64_t(params_.trainWindow);
+    for (std::uint64_t m = validMask_; m != 0; m &= m - 1) {
+        unsigned i = unsigned(__builtin_ctzll(m));
         std::int64_t delta = std::int64_t(line_index) -
-                             std::int64_t(s.lastLine);
+                             std::int64_t(lastLines_[i]);
         if (delta < 0)
             delta = -delta;
-        if (delta <= std::int64_t(params_.trainWindow))
-            return &s;
+        if (delta <= window)
+            return int(i);
     }
-    return nullptr;
+    return -1;
 }
 
 inline void
@@ -112,59 +124,58 @@ StreamPrefetcher::notifyMiss(Addr line_addr, std::vector<Addr> &out)
         return;
 
     Addr line_index = line_addr >> kLineShift;
-    Stream *stream = findStream(line_index);
+    int found = findStream(line_index);
 
-    if (stream == nullptr) {
-        stream = allocateStream();
+    if (found < 0) {
+        unsigned i = allocateStream();
         ++allocations_;
-        stream->valid = true;
-        stream->confirmed = false;
-        stream->direction = 1;
-        stream->strikes = 0;
-        stream->lastLine = line_index;
-        stream->prefetchHead = line_index + 1;
-        stream->lruSeq = ++lruCounter_;
+        validMask_ |= std::uint64_t(1) << i;
+        streams_[i] = Stream{};
+        streams_[i].prefetchHead = line_index + 1;
+        lastLines_[i] = line_index;
+        lruSeqs_[i] = ++lruCounter_;
         return; // first touch only allocates; no prefetch yet
     }
 
-    stream->lruSeq = ++lruCounter_;
+    Stream &stream = streams_[unsigned(found)];
+    lruSeqs_[unsigned(found)] = ++lruCounter_;
     std::int64_t delta = std::int64_t(line_index) -
-                         std::int64_t(stream->lastLine);
+                         std::int64_t(lastLines_[unsigned(found)]);
     if (delta == 0)
         return;
 
-    if (!stream->confirmed) {
+    if (!stream.confirmed) {
         // Second nearby miss establishes the direction [48].
-        stream->confirmed = true;
-        stream->direction = delta > 0 ? 1 : -1;
-        stream->prefetchHead = line_index + stream->direction;
-    } else if ((delta > 0) != (stream->direction > 0)) {
+        stream.confirmed = true;
+        stream.direction = delta > 0 ? 1 : -1;
+        stream.prefetchHead = line_index + stream.direction;
+    } else if ((delta > 0) != (stream.direction > 0)) {
         // Training against the established direction: after two strikes
         // the stream re-confirms, so an unluckily-established direction
         // cannot park a zombie stream in the table forever.
-        if (++stream->strikes >= 2) {
-            stream->direction = delta > 0 ? 1 : -1;
-            stream->prefetchHead = line_index + stream->direction;
-            stream->strikes = 0;
+        if (++stream.strikes >= 2) {
+            stream.direction = delta > 0 ? 1 : -1;
+            stream.prefetchHead = line_index + stream.direction;
+            stream.strikes = 0;
         }
     } else {
-        stream->strikes = 0;
+        stream.strikes = 0;
     }
     ++trainings_;
-    stream->lastLine = line_index;
+    lastLines_[unsigned(found)] = line_index;
 
     // Keep the prefetch head within `distance` lines of the demand stream
     // and emit up to `degree` prefetches per training.
     Addr limit = line_index + std::int64_t(params_.distance) *
-                 stream->direction;
+                 stream.direction;
     for (unsigned i = 0; i < params_.degree; ++i) {
-        bool within = stream->direction > 0 ? stream->prefetchHead <= limit
-                                            : stream->prefetchHead >= limit;
+        bool within = stream.direction > 0 ? stream.prefetchHead <= limit
+                                           : stream.prefetchHead >= limit;
         if (!within)
             break;
-        out.push_back(stream->prefetchHead << kLineShift);
+        out.push_back(stream.prefetchHead << kLineShift);
         ++issued_;
-        stream->prefetchHead += stream->direction;
+        stream.prefetchHead += stream.direction;
     }
 }
 

@@ -8,9 +8,9 @@ namespace ovl
 {
 
 OmsAllocator::OmsAllocator(std::string name, OmsAllocatorParams params,
-                           std::function<Addr()> os_alloc_page)
+                           PageAllocFn os_alloc_page)
     : SimObject(std::move(name)), params_(params),
-      osAllocPage_(std::move(os_alloc_page)),
+      osAllocPage_(os_alloc_page),
       allocations_(&statGroup(), "allocations", "segments allocated"),
       releases_(&statGroup(), "releases", "segments released"),
       splits_(&statGroup(), "splits", "segments split to feed a class"),
@@ -21,11 +21,76 @@ OmsAllocator::OmsAllocator(std::string name, OmsAllocatorParams params,
       listTouches_(&statGroup(), "listTouches",
                    "free-list memory-line touches")
 {
-    ovl_assert(osAllocPage_ != nullptr, "OMS allocator needs an OS hook");
+    ovl_assert(osAllocPage_, "OMS allocator needs an OS hook");
+    heads_.fill(kNullRef);
+    pages_.reserve(params_.startupPages);
     for (unsigned i = 0; i < params_.startupPages; ++i) {
-        freeLists_[unsigned(SegClass::Seg4KB)].push_back(osAllocPage_());
+        pushFront(SegClass::Seg4KB, newPage(osAllocPage_()) << 4);
         osBytesProvided_ += kPageSize;
     }
+}
+
+std::uint32_t
+OmsAllocator::newPage(Addr base)
+{
+    ovl_assert(pageOffset(base) == 0, "OMS pages must be page-aligned");
+    auto idx = std::uint32_t(pages_.size());
+    pages_.emplace_back();
+    PageMeta &pm = pages_.back();
+    pm.base = base;
+    pm.freeCls.fill(kNotFree);
+    pageIndex_.emplace(base, idx);
+    return idx;
+}
+
+std::uint32_t
+OmsAllocator::refOf(Addr addr)
+{
+    Addr page_base = pageBase(addr);
+    std::uint32_t idx;
+    if (page_base == lastPageBase_) {
+        idx = lastPageIdx_;
+    } else {
+        auto it = pageIndex_.find(page_base);
+        ovl_assert(it != pageIndex_.end(),
+                   "segment address outside any OMS page");
+        idx = it->second;
+        lastPageBase_ = page_base;
+        lastPageIdx_ = idx;
+    }
+    return (idx << 4) | std::uint32_t(pageOffset(addr) >> 8);
+}
+
+void
+OmsAllocator::pushFront(SegClass cls, std::uint32_t ref)
+{
+    PageMeta &pm = pages_[ref >> 4];
+    unsigned unit = ref & 15u;
+    pm.freeCls[unit] = std::int8_t(cls);
+    pm.next[unit] = heads_[unsigned(cls)];
+    pm.prev[unit] = kNullRef;
+    if (heads_[unsigned(cls)] != kNullRef)
+        pages_[heads_[unsigned(cls)] >> 4].prev[heads_[unsigned(cls)] & 15u] =
+            ref;
+    heads_[unsigned(cls)] = ref;
+    ++counts_[unsigned(cls)];
+}
+
+void
+OmsAllocator::unlink(SegClass cls, std::uint32_t ref)
+{
+    PageMeta &pm = pages_[ref >> 4];
+    unsigned unit = ref & 15u;
+    std::uint32_t nxt = pm.next[unit];
+    std::uint32_t prv = pm.prev[unit];
+    if (prv != kNullRef)
+        pages_[prv >> 4].next[prv & 15u] = nxt;
+    else
+        heads_[unsigned(cls)] = nxt;
+    if (nxt != kNullRef)
+        pages_[nxt >> 4].prev[nxt & 15u] = prv;
+    pm.freeCls[unit] = kNotFree;
+    --counts_[unsigned(cls)];
 }
 
 void
@@ -33,7 +98,7 @@ OmsAllocator::refillFromOs()
 {
     ++osRefills_;
     for (unsigned i = 0; i < params_.refillPages; ++i) {
-        freeLists_[unsigned(SegClass::Seg4KB)].push_back(osAllocPage_());
+        pushFront(SegClass::Seg4KB, newPage(osAllocPage_()) << 4);
         osBytesProvided_ += kPageSize;
     }
 }
@@ -41,8 +106,7 @@ OmsAllocator::refillFromOs()
 Addr
 OmsAllocator::allocate(SegClass cls)
 {
-    auto &list = freeLists_[unsigned(cls)];
-    if (list.empty()) {
+    if (counts_[unsigned(cls)] == 0) {
         if (cls == SegClass::Seg4KB) {
             refillFromOs();
         } else {
@@ -50,23 +114,23 @@ OmsAllocator::allocate(SegClass cls)
             Addr big = allocate(segClassNext(cls));
             ++splits_;
             listTouches_ += 2;
-            list.push_back(big + segClassBytes(cls));
+            pushFront(cls, refOf(big + segClassBytes(cls)));
             ++allocations_;
             return big;
         }
     }
-    ovl_assert(!list.empty(), "OMS allocator failed to refill");
-    Addr base = list.back();
-    list.pop_back();
+    ovl_assert(counts_[unsigned(cls)] > 0, "OMS allocator failed to refill");
+    std::uint32_t ref = heads_[unsigned(cls)];
+    unlink(cls, ref);
     ++allocations_;
     ++listTouches_;
-    return base;
+    return addrOf(ref);
 }
 
 void
 OmsAllocator::release(Addr base, SegClass cls)
 {
-    freeLists_[unsigned(cls)].push_back(base);
+    pushFront(cls, refOf(base));
     ++releases_;
     ++listTouches_;
     if (params_.coalesce)
@@ -77,22 +141,25 @@ void
 OmsAllocator::tryCoalesce(SegClass cls)
 {
     while (cls != SegClass::Seg4KB) {
-        auto &list = freeLists_[unsigned(cls)];
-        if (list.size() < 2)
+        if (counts_[unsigned(cls)] < 2)
             return;
-        // The most recent release is the coalescing candidate.
-        Addr base = list.back();
+        // The most recent release is the coalescing candidate; its buddy
+        // lives in the same OS page, so one unit-state probe decides.
+        std::uint32_t ref = heads_[unsigned(cls)];
+        Addr base = addrOf(ref);
         Addr bytes = segClassBytes(cls);
         Addr buddy = base ^ bytes;
-        auto it = std::find(list.begin(), list.end() - 1, buddy);
-        if (it == list.end() - 1)
+        PageMeta &pm = pages_[ref >> 4];
+        unsigned buddy_unit = unsigned(pageOffset(buddy) >> 8);
+        if (pm.freeCls[buddy_unit] != std::int8_t(cls))
             return;
-        list.pop_back();
-        list.erase(it);
+        std::uint32_t buddy_ref = (ref & ~15u) | buddy_unit;
+        unlink(cls, ref);
+        unlink(cls, buddy_ref);
         ++coalesces_;
         listTouches_ += 2;
         SegClass bigger = segClassNext(cls);
-        freeLists_[unsigned(bigger)].push_back(std::min(base, buddy));
+        pushFront(bigger, refOf(std::min(base, buddy)));
         cls = bigger;
     }
 }
@@ -100,7 +167,7 @@ OmsAllocator::tryCoalesce(SegClass cls)
 std::size_t
 OmsAllocator::freeCount(SegClass cls) const
 {
-    return freeLists_[unsigned(cls)].size();
+    return counts_[unsigned(cls)];
 }
 
 } // namespace ovl

@@ -12,10 +12,11 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "overlay/oms_segment.hh"
+#include "overlay/page_alloc.hh"
 #include "sim/sim_object.hh"
 
 namespace ovl
@@ -38,16 +39,23 @@ struct OmsAllocatorParams
 
 /**
  * Segment allocator over OS-provided 4 KB pages. Functionally the free
- * lists are in-host vectors; the timing cost of list manipulation is
- * charged by the OverlayManager (a grouped linked list touches O(1) lines
- * per operation [46]).
+ * lists are intrusive doubly-linked lists threaded through per-page unit
+ * metadata, so every operation — including the buddy probe of a coalesce
+ * — is O(1); the timing cost of list manipulation is charged by the
+ * OverlayManager (a grouped linked list touches O(1) lines per
+ * operation [46]).
+ *
+ * Because segments never straddle the 4 KB page they were split from,
+ * every free segment is identified by (page, 256 B unit index). Each
+ * page records which of its units head a free segment and of what class,
+ * which is exactly the state a buddy lookup needs.
  */
 class OmsAllocator : public SimObject
 {
   public:
     /** @p os_alloc_page returns the main-memory address of a fresh page. */
     OmsAllocator(std::string name, OmsAllocatorParams params,
-                 std::function<Addr()> os_alloc_page);
+                 PageAllocFn os_alloc_page);
 
     /**
      * Allocate one segment of @p cls. Splits larger segments or requests
@@ -68,13 +76,49 @@ class OmsAllocator : public SimObject
     std::uint64_t listTouches() const { return listTouches_.value(); }
 
   private:
+    /** 256 B units per OS page: the finest segment granularity. */
+    static constexpr unsigned kUnitsPerPage = kPageSize / 256;
+    /** A free-list node: (page index << 4) | unit index. */
+    static constexpr std::uint32_t kNullRef = ~std::uint32_t(0);
+    /** Unit marker: this unit does not head a free segment. */
+    static constexpr std::int8_t kNotFree = -1;
+
+    /** Free-list linkage and free-state of one OS page's units. */
+    struct PageMeta
+    {
+        Addr base = 0;
+        std::array<std::uint32_t, kUnitsPerPage> next;
+        std::array<std::uint32_t, kUnitsPerPage> prev;
+        /** Class of the free segment headed at each unit, or kNotFree. */
+        std::array<std::int8_t, kUnitsPerPage> freeCls;
+    };
+
+    Addr
+    addrOf(std::uint32_t ref) const
+    {
+        return pages_[ref >> 4].base + Addr(ref & 15u) * 256;
+    }
+
+    std::uint32_t refOf(Addr addr);
+    std::uint32_t newPage(Addr base);
+    void pushFront(SegClass cls, std::uint32_t ref);
+    void unlink(SegClass cls, std::uint32_t ref);
+
     void refillFromOs();
     /** Try buddy coalescing after a release. */
     void tryCoalesce(SegClass cls);
 
     OmsAllocatorParams params_;
-    std::function<Addr()> osAllocPage_;
-    std::array<std::vector<Addr>, kNumSegClasses> freeLists_;
+    PageAllocFn osAllocPage_;
+
+    std::vector<PageMeta> pages_;
+    /** Page base address -> pages_ index, with a one-entry MRU. */
+    std::unordered_map<Addr, std::uint32_t> pageIndex_;
+    Addr lastPageBase_ = kInvalidAddr;
+    std::uint32_t lastPageIdx_ = 0;
+
+    std::array<std::uint32_t, kNumSegClasses> heads_;
+    std::array<std::size_t, kNumSegClasses> counts_{};
 
     stats::Counter allocations_;
     stats::Counter releases_;

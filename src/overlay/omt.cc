@@ -6,40 +6,48 @@
 namespace ovl
 {
 
-Omt::Omt(std::string name, std::function<Addr()> node_page_alloc)
-    : SimObject(std::move(name)), nodePageAlloc_(std::move(node_page_alloc)),
+Omt::Omt(std::string name, PageAllocFn node_page_alloc)
+    : SimObject(std::move(name)), nodePageAlloc_(node_page_alloc),
       entriesCreated_(&statGroup(), "entriesCreated", "OMT entries created"),
       entriesErased_(&statGroup(), "entriesErased", "OMT entries erased"),
       nodeBytes_(&statGroup(), "nodeBytes", "bytes of OMT radix nodes")
 {
-    ovl_assert(nodePageAlloc_ != nullptr, "OMT needs a node allocator");
-    // Typical workloads keep hundreds to thousands of overlays live;
-    // reserving up front keeps the hot find() path rehash-free.
-    table_.reserve(1024);
+    ovl_assert(nodePageAlloc_, "OMT needs a node allocator");
     nodes_.reserve(256);
 }
 
-OmtEntry *
-Omt::find(Opn opn)
+Omt::Chunk &
+Omt::ensureChunk(std::uint64_t chunk_id)
 {
-    // The controller resolves the same OPN several times per operation
-    // (omtAccess, then the read/writeback body); a one-entry MRU cache
-    // turns the repeats into a compare. Map nodes are stable across
-    // rehash, so inserts don't invalidate the cached pointer.
-    if (opn == cachedOpn_)
-        return cachedEntry_;
-    auto it = table_.find(opn);
-    if (it == table_.end())
-        return nullptr;
-    cachedOpn_ = opn;
-    cachedEntry_ = &it->second;
-    return cachedEntry_;
+    if (chunk_id == cachedChunkId_)
+        return *cachedChunk_;
+    auto it = std::lower_bound(
+        chunks_.begin(), chunks_.end(), chunk_id,
+        [](const auto &e, std::uint64_t id) { return e.first < id; });
+    if (it == chunks_.end() || it->first != chunk_id) {
+        // Chunk creation is rare (once per populated 512-OPN window, e.g.
+        // once per forked process); the sorted insert is off the hot path.
+        it = chunks_.insert(
+            it, {chunk_id, std::make_unique<Chunk>()});
+    }
+    cachedChunkId_ = chunk_id;
+    cachedChunk_ = it->second.get();
+    return *cachedChunk_;
 }
 
-const OmtEntry *
-Omt::find(Opn opn) const
+void
+Omt::fillChunkWalkCache(std::uint64_t chunk_id, Chunk &chunk)
 {
-    return const_cast<Omt *>(this)->find(opn);
+    // Levels 0..2 are functions of the chunk id alone: every OPN in the
+    // window shares them. The leaf node page is the chunk itself.
+    Opn first_opn = Opn(chunk_id << kChunkBits);
+    for (unsigned level = 0; level + 1 < kWalkLevels; ++level)
+        chunk.upperLines[level] = nodeLineAddr(level, first_opn, false);
+    std::uint64_t key =
+        (std::uint64_t(kWalkLevels - 1) << 56) ^ chunk_id;
+    auto it = nodes_.find(key);
+    ovl_assert(it != nodes_.end(), "leaf node missing after path creation");
+    chunk.leafBase = it->second;
 }
 
 OmtEntry &
@@ -47,25 +55,58 @@ Omt::findOrCreate(Opn opn)
 {
     if (opn == cachedOpn_)
         return *cachedEntry_;
-    auto [it, inserted] = table_.try_emplace(opn);
-    if (inserted) {
+    Chunk &chunk = ensureChunk(opn >> kChunkBits);
+    std::uint32_t &slot = chunk.slots[opn & (kChunkSize - 1)];
+    if (slot == kNoEntry) {
         ++entriesCreated_;
-        ensureNodePath(opn);
+        if (chunk.leafBase == kInvalidAddr) {
+            // First entry of this 512-OPN window: materialize the radix
+            // path and cache the chunk's walk lines. Every other OPN in
+            // the window shares all four node pages (levels 0..2 are
+            // functions of the chunk id; the leaf page is the chunk), so
+            // a filled walk cache proves ensureNodePath would be a no-op.
+            ensureNodePath(opn);
+            fillChunkWalkCache(opn >> kChunkBits, chunk);
+        }
+        if (!freeEntries_.empty()) {
+            slot = freeEntries_.back();
+            freeEntries_.pop_back();
+            arena_[slot] = OmtEntry();
+        } else {
+            slot = std::uint32_t(arena_.size());
+            arena_.emplace_back();
+        }
+        ++chunk.live;
+        ++size_;
     }
     cachedOpn_ = opn;
-    cachedEntry_ = &it->second;
-    return it->second;
+    cachedEntry_ = &arena_[slot];
+    return *cachedEntry_;
 }
 
 void
 Omt::erase(Opn opn)
 {
-    if (table_.erase(opn) > 0)
-        ++entriesErased_;
+    // Drop the MRU entry first: after the slot is recycled the cached
+    // pointer would alias whatever OPN claims the arena slot next.
     if (opn == cachedOpn_) {
         cachedOpn_ = kInvalidAddr;
         cachedEntry_ = nullptr;
     }
+    Chunk *chunk = findChunk(opn >> kChunkBits);
+    if (chunk == nullptr)
+        return;
+    std::uint32_t &slot = chunk->slots[opn & (kChunkSize - 1)];
+    if (slot == kNoEntry)
+        return;
+    freeEntries_.push_back(slot);
+    slot = kNoEntry;
+    --chunk->live;
+    --size_;
+    ++entriesErased_;
+    // Chunks (and their radix nodes) are retained: table nodes are never
+    // freed, so walks of erased OPNs still see the full path, exactly as
+    // a hardware table walk would.
 }
 
 Addr
@@ -96,6 +137,14 @@ void
 Omt::walkAddresses(Opn opn, std::vector<Addr> &out) const
 {
     out.clear();
+    Chunk *chunk = findChunk(opn >> kChunkBits);
+    if (chunk != nullptr && chunk->leafBase != kInvalidAddr) {
+        for (unsigned level = 0; level + 1 < kWalkLevels; ++level)
+            out.push_back(chunk->upperLines[level]);
+        out.push_back(chunk->leafBase +
+                      Addr((opn & (kChunkSize - 1)) >> 3) * kLineSize);
+        return;
+    }
     for (unsigned level = 0; level < kWalkLevels; ++level) {
         Addr node = const_cast<Omt *>(this)->nodeLineAddr(level, opn,
                                                           false);
@@ -142,13 +191,14 @@ OmtCache::findWay(Opn opn) const
     return const_cast<OmtCache *>(this)->findWay(opn);
 }
 
-OmtCache::LookupResult
-OmtCache::lookupAllocate(Opn opn)
+OmtCache::Way &
+OmtCache::lookupAllocateWay(Opn opn, LookupResult &res)
 {
     if (Way *way = findWay(opn)) {
         ++hits_;
         way->lruSeq = ++lruCounter_;
-        return LookupResult{true, kInvalidAddr, false};
+        res.hit = true;
+        return *way;
     }
 
     ++misses_;
@@ -163,7 +213,6 @@ OmtCache::lookupAllocate(Opn opn)
             victim = &set[w];
     }
 
-    LookupResult res;
     if (victim->valid && victim->modified) {
         res.writebackOpn = victim->opn;
         res.needsWriteback = true;
@@ -173,6 +222,22 @@ OmtCache::lookupAllocate(Opn opn)
     victim->modified = false;
     victim->opn = opn;
     victim->lruSeq = ++lruCounter_;
+    return *victim;
+}
+
+OmtCache::LookupResult
+OmtCache::lookupAllocate(Opn opn)
+{
+    LookupResult res;
+    lookupAllocateWay(opn, res);
+    return res;
+}
+
+OmtCache::LookupResult
+OmtCache::lookupAllocateModify(Opn opn)
+{
+    LookupResult res;
+    lookupAllocateWay(opn, res).modified = true;
     return res;
 }
 

@@ -11,12 +11,11 @@ namespace ovl
 
 OverlayManager::OverlayManager(std::string name, OverlayManagerParams params,
                                DramController &dram_ctrl,
-                               std::function<Addr()> os_alloc_page)
+                               PageAllocFn os_alloc_page)
     : SimObject(std::move(name)), params_(params), dramCtrl_(dram_ctrl),
       omt_(this->name() + ".omt", os_alloc_page),
       omtCache_(this->name() + ".omtCache", params.omtCache),
-      allocator_(this->name() + ".oms", params.allocator,
-                 std::move(os_alloc_page)),
+      allocator_(this->name() + ".oms", params.allocator, os_alloc_page),
       overlayReads_(&statGroup(), "overlayReads",
                     "overlay lines read from the OMS"),
       overlayWritebacks_(&statGroup(), "overlayWritebacks",
@@ -38,34 +37,28 @@ OverlayManager::OverlayManager(std::string name, OverlayManagerParams params,
 OverlayManager::OverlayPageData *
 OverlayManager::findPageData(Opn opn) const
 {
-    if (opn == cachedOpn_)
-        return cachedPage_;
-    auto it = data_.find(opn);
-    if (it == data_.end())
+    const OmtEntry *entry = omt_.find(opn);
+    if (entry == nullptr || entry->pageDataIdx == OmtEntry::kNoPageData)
         return nullptr;
-    cachedOpn_ = opn;
-    cachedPage_ = it->second.get();
-    return cachedPage_;
+    return pageStore_[entry->pageDataIdx].get();
 }
 
 OverlayManager::OverlayPageData &
-OverlayManager::ensurePageData(Opn opn)
+OverlayManager::ensurePageData(OmtEntry &entry)
 {
-    if (opn == cachedOpn_)
-        return *cachedPage_;
-    auto [it, inserted] = data_.try_emplace(opn);
-    if (inserted) {
-        if (!pagePool_.empty()) {
-            it->second = std::move(pagePool_.back());
-            pagePool_.pop_back();
-            it->second->present = BitVector64();
-        } else {
-            it->second = std::make_unique<OverlayPageData>();
-        }
+    if (entry.pageDataIdx != OmtEntry::kNoPageData)
+        return *pageStore_[entry.pageDataIdx];
+    std::uint32_t idx;
+    if (!freePages_.empty()) {
+        idx = freePages_.back();
+        freePages_.pop_back();
+        pageStore_[idx]->present = BitVector64();
+    } else {
+        idx = std::uint32_t(pageStore_.size());
+        pageStore_.push_back(std::make_unique<OverlayPageData>());
     }
-    cachedOpn_ = opn;
-    cachedPage_ = it->second.get();
-    return *cachedPage_;
+    entry.pageDataIdx = idx;
+    return *pageStore_[idx];
 }
 
 bool
@@ -89,7 +82,7 @@ OverlayManager::writeLineData(Opn opn, unsigned line_in_page,
     ovl_assert(line_in_page < kLinesPerPage, "line index out of page");
     OmtEntry &entry = omt_.findOrCreate(opn);
     entry.obv.set(line_in_page);
-    OverlayPageData &page = ensurePageData(opn);
+    OverlayPageData &page = ensurePageData(entry);
     page.present.set(line_in_page);
     page.lines[line_in_page] = data;
 }
@@ -126,8 +119,8 @@ OverlayManager::clearLine(Opn opn, unsigned line_in_page)
             entry->seg.meta.slotOf[line_in_page] = kInvalidSlot;
         }
     }
-    if (OverlayPageData *page = findPageData(opn))
-        page->present.clear(line_in_page);
+    if (entry->pageDataIdx != OmtEntry::kNoPageData)
+        pageStore_[entry->pageDataIdx]->present.clear(line_in_page);
 }
 
 void
@@ -137,17 +130,10 @@ OverlayManager::discardOverlay(Opn opn)
     if (entry == nullptr)
         return;
     releaseSegment(*entry);
+    if (entry->pageDataIdx != OmtEntry::kNoPageData)
+        freePages_.push_back(entry->pageDataIdx);
     omt_.erase(opn);
     omtCache_.invalidate(opn);
-    auto it = data_.find(opn);
-    if (it != data_.end()) {
-        pagePool_.push_back(std::move(it->second));
-        data_.erase(it);
-    }
-    if (opn == cachedOpn_) {
-        cachedOpn_ = kInvalidAddr;
-        cachedPage_ = nullptr;
-    }
 }
 
 // ----------------------------- timing side -----------------------------
@@ -155,7 +141,13 @@ OverlayManager::discardOverlay(Opn opn)
 Tick
 OverlayManager::omtAccess(Opn opn, Tick when)
 {
-    OmtCache::LookupResult res = omtCache_.lookupAllocate(opn);
+    return finishOmtAccess(opn, omtCache_.lookupAllocate(opn), when);
+}
+
+Tick
+OverlayManager::finishOmtAccess(Opn opn, const OmtCache::LookupResult &res,
+                                Tick when)
+{
     Tick t = when + omtCache_.params().hitLatency;
     if (res.hit)
         return t;
@@ -171,9 +163,9 @@ OverlayManager::omtAccess(Opn opn, Tick when)
             dramCtrl_.enqueueWrite(victim->seg.metaLineAddr(), t);
     }
     ++omtWalks_;
-    omt_.walkAddresses(opn, walkScratch_);
-    if (!walkScratch_.empty())
-        dramCtrl_.read(walkScratch_.back(), t);
+    Addr deepest = omt_.walkLastAddr(opn);
+    if (deepest != kInvalidAddr)
+        dramCtrl_.read(deepest, t);
     Tick done = t + params_.omtCache.missLatency;
     if (trace::active()) {
         trace::complete("overlay", "omt_walk", when, done - when,
@@ -229,10 +221,11 @@ OverlayManager::overlayingReadExclusive(Opn opn, unsigned line_in_page,
                                         Tick when)
 {
     ++oreMessages_;
-    Tick t = omtAccess(opn, when);
+    // The ORE always modifies the entry it resolves, so the OMT-cache
+    // lookup and the modified-mark are fused into one tag scan.
+    Tick t = finishOmtAccess(opn, omtCache_.lookupAllocateModify(opn), when);
     OmtEntry &entry = omt_.findOrCreate(opn);
     entry.obv.set(line_in_page);
-    omtCache_.markModified(opn);
     return t;
 }
 
@@ -355,12 +348,10 @@ OverlayManager::segmentCount(SegClass cls) const
     std::uint64_t count = 0;
     // Linear scan over live overlays: accounting only, never on the
     // access path.
-    for (const auto &[opn, page] : data_) {
-        (void)page;
-        const OmtEntry *entry = omt_.find(opn);
-        if (entry != nullptr && entry->hasSegment && entry->seg.cls == cls)
+    omt_.forEach([&](Opn, const OmtEntry &entry) {
+        if (entry.hasSegment && entry.seg.cls == cls)
             ++count;
-    }
+    });
     return count;
 }
 

@@ -13,9 +13,7 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitvector64.hh"
@@ -55,8 +53,7 @@ class OverlayManager : public SimObject
 {
   public:
     OverlayManager(std::string name, OverlayManagerParams params,
-                   DramController &dram_ctrl,
-                   std::function<Addr()> os_alloc_page);
+                   DramController &dram_ctrl, PageAllocFn os_alloc_page);
 
     // ----- functional interface (used by the VM layer and techniques) ---
 
@@ -146,6 +143,10 @@ class OverlayManager : public SimObject
     Addr ensureSlot(OmtEntry &entry, Opn opn, unsigned line_in_page,
                     Tick &when);
 
+    /** Charge the timing of an OMT access given its cache-lookup result. */
+    Tick finishOmtAccess(Opn opn, const OmtCache::LookupResult &res,
+                         Tick when);
+
     /** Grow @p entry's segment to the next size class, copying lines. */
     void migrateSegment(OmtEntry &entry, Opn opn, Tick &when);
 
@@ -160,9 +161,11 @@ class OverlayManager : public SimObject
 
     /**
      * Logical contents of one overlay page, flattened: a presence bitmap
-     * plus a dense line array. One hash lookup (against the previous
-     * map-of-maps' two) and then a bit test resolves any line; poke/peek
-     * hit this once per 64 B chunk.
+     * plus a dense line array. The OMT entry carries the index of its
+     * page in pageStore_ (data ⊆ table: page data never outlives the
+     * entry), so resolving a line is the OMT's chunk-indexed lookup plus
+     * one array read — no separate hash map; poke/peek hit this once per
+     * 64 B chunk.
      */
     struct OverlayPageData
     {
@@ -170,21 +173,17 @@ class OverlayManager : public SimObject
         std::array<LineData, kLinesPerPage> lines;
     };
 
-    /** Find the page data of @p opn; nullptr if absent. Caches the last
-     *  hit, since chunked functional accesses resolve the same page
-     *  repeatedly (heap nodes are stable across rehash). */
+    /** Find the page data of @p opn; nullptr if absent. */
     OverlayPageData *findPageData(Opn opn) const;
-    /** Find-or-create; recycles retired pages through pagePool_. */
-    OverlayPageData &ensurePageData(Opn opn);
+    /** Find-or-create the page data of @p entry; recycles retired pages
+     *  through freePages_. */
+    OverlayPageData &ensurePageData(OmtEntry &entry);
 
-    /** Logical overlay contents: opn -> flattened page. */
-    std::unordered_map<Opn, std::unique_ptr<OverlayPageData>> data_;
-    std::vector<std::unique_ptr<OverlayPageData>> pagePool_;
-    mutable Opn cachedOpn_ = kInvalidAddr;
-    mutable OverlayPageData *cachedPage_ = nullptr;
+    /** Page-data arena, indexed by OmtEntry::pageDataIdx. */
+    std::vector<std::unique_ptr<OverlayPageData>> pageStore_;
+    std::vector<std::uint32_t> freePages_;
 
     std::uint64_t omsBytesInUse_ = 0;
-    std::vector<Addr> walkScratch_;
 
     stats::Counter overlayReads_;
     stats::Counter overlayWritebacks_;

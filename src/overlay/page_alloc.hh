@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Devirtualized OS page-allocation hook for the overlay engine. The OMT
+ * and the OMS allocator request backing pages from the OS a handful of
+ * times per simulated fork; the previous std::function indirection put a
+ * type-erased call (and a heap-allocated closure) on a path inlined into
+ * the access engine. A bare function pointer plus context keeps the call
+ * direct and the hook trivially copyable.
+ */
+
+#ifndef OVERLAYSIM_OVERLAY_PAGE_ALLOC_HH
+#define OVERLAYSIM_OVERLAY_PAGE_ALLOC_HH
+
+#include "common/types.hh"
+
+namespace ovl
+{
+
+/** A page-allocation callback: returns the base address of a fresh page. */
+struct PageAllocFn
+{
+    Addr (*fn)(void *ctx) = nullptr;
+    void *ctx = nullptr;
+
+    Addr operator()() const { return fn(ctx); }
+    explicit operator bool() const { return fn != nullptr; }
+};
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_OVERLAY_PAGE_ALLOC_HH

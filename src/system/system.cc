@@ -63,13 +63,19 @@ System::System(SystemConfig config)
       dramCtrl_(name() + ".dramCtrl", config_.dram,
                 config_.writeBufferEntries),
       overlayMgr_(name() + ".overlay", config_.overlay, dramCtrl_,
-                  [this] {
-                      omsBackingBytes_ += kPageSize;
-                      return physMem_.allocFrame() << kPageShift;
-                  }),
+                  PageAllocFn{[](void *ctx) {
+                                  auto *sys = static_cast<System *>(ctx);
+                                  sys->omsBackingBytes_ += kPageSize;
+                                  return sys->physMem_.allocFrame()
+                                         << kPageShift;
+                              },
+                              this}),
       memCtrl_(name() + ".memCtrl", dramCtrl_, overlayMgr_),
       caches_(name() + ".caches", config_.caches, memCtrl_),
       accesses_(&statGroup(), "accesses", "memory accesses"),
+      functionalAccesses_(&statGroup(), "functionalAccesses",
+                          "accesses fast-forwarded functionally (sampled"
+                          " simulation)"),
       tlbWalks_(&statGroup(), "tlbWalks", "page-table walks"),
       cowFaults_(&statGroup(), "cowFaults", "copy-on-write faults"),
       cowLinesCopied_(&statGroup(), "cowLinesCopied",
@@ -191,6 +197,93 @@ System::access(Asid asid, Addr vaddr, bool is_write, Tick when,
         samplerNext_ = sampler_->observe(t);
     outcome->completion = t;
     return t;
+}
+
+void
+System::accessFunctional(Asid asid, Addr vaddr, bool is_write, unsigned core)
+{
+    ++functionalAccesses_;
+    Addr vpn = pageNumber(vaddr);
+    unsigned line = lineInPage(vaddr);
+
+    // TLB warming: the lookup tracks recency like a detailed access, and
+    // a miss fills both levels from the page table — state only, no walk
+    // latency and no OMT-cache occupancy (the OBitVector is read straight
+    // from the OMT).
+    TlbAccessResult tr = tlbs_[core]->access(asid, vpn);
+    TlbEntryData *entry = tr.entry;
+    if (tr.needsWalk) {
+        Pte *pte = vmm_.resolve(asid, vpn);
+        if (pte == nullptr || !pte->present) {
+            ovl_fatal("functional access to unmapped page: asid=%u vpn=%llx",
+                      unsigned(asid), (unsigned long long)vpn);
+        }
+        TlbEntryData data;
+        data.ppn = pte->ppn;
+        data.writable = pte->writable;
+        data.cow = pte->cow;
+        data.overlayEnabled = pte->overlayEnabled;
+        data.metadataMode = pte->metadataMode;
+        if (pte->overlayEnabled && config_.overlaysEnabled) {
+            data.obv = overlayMgr_.obitvector(
+                overlay_addr::pageFromVirtual(asid, vpn));
+        }
+        entry = tlbs_[core]->fill(asid, vpn, data);
+    }
+
+    if (is_write && entry->cow) {
+        bool use_overlay = entry->overlayEnabled &&
+                           config_.overlaysEnabled && !entry->metadataMode;
+        if (use_overlay) {
+            if (!entry->obv.test(line)) {
+                ovl_assert(config_.promoteThresholdLines >= kLinesPerPage,
+                           "functional fast-forward requires promotion "
+                           "disabled");
+                ++overlayingWrites_;
+                Pte *pte = vmm_.resolve(asid, vpn);
+                Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+                Addr pline = physLineAddr(pte->ppn, vaddr);
+                overlayLineFunctional(opn, line, pline);
+                for (auto &tlb : tlbs_)
+                    tlb->updateObvBit(asid, vpn, line, true);
+                // The detailed path retags pline -> oline in place; the
+                // warm equivalent drops the stale regular-space tag (the
+                // overlay-space tag is installed by warmLine below).
+                caches_.dropLine(pline);
+            }
+        } else {
+            ++cowFaults_;
+            Pte *pte = vmm_.resolve(asid, vpn);
+            Addr old_ppn = pte->ppn;
+            bool copied = false;
+            vmm_.breakCow(asid, vpn, &copied);
+            for (auto &tlb : tlbs_)
+                tlb->invalidate(asid, vpn);
+            pte = vmm_.resolve(asid, vpn);
+            if (copied) {
+                // The detailed fault copies the page through the caches
+                // (64 loads + 64 stores); warm the same footprint.
+                for (unsigned l = 0; l < kLinesPerPage; ++l) {
+                    Addr off = Addr(l) << kLineShift;
+                    caches_.warmLine((old_ppn << kPageShift) | off, false);
+                    caches_.warmLine((pte->ppn << kPageShift) | off, true);
+                }
+            }
+            TlbEntryData data;
+            data.ppn = pte->ppn;
+            data.writable = pte->writable;
+            data.cow = pte->cow;
+            data.overlayEnabled = pte->overlayEnabled;
+            data.metadataMode = pte->metadataMode;
+            entry = tlbs_[core]->fill(asid, vpn, data);
+        }
+    }
+
+    bool overlay_line = config_.overlaysEnabled && entry->overlayEnabled &&
+                        !entry->metadataMode && entry->obv.test(line);
+    Addr line_addr = overlay_line ? overlayLineAddr(asid, vaddr)
+                                  : physLineAddr(entry->ppn, vaddr);
+    caches_.warmLine(line_addr, is_write);
 }
 
 Tick
@@ -543,16 +636,11 @@ System::fork(Asid parent, ForkMode mode, Tick when, Tick *done)
     // copy the parent's overlay lines into the child's overlays. The
     // copy walks pages in ascending-VPN order: the order is part of the
     // deterministic timing contract (it decides the cache/DRAM access
-    // sequence), so it must not depend on container iteration order.
+    // sequence). PageTable iteration is ascending by construction, and
+    // nothing in the loop mutates the parent's table.
     if (config_.overlaysEnabled) {
-        std::vector<Addr> vpns;
-        vpns.reserve(parent_proc.pageTable.size());
         for (auto &&[vpn, pte] : parent_proc.pageTable) {
             (void)pte;
-            vpns.push_back(vpn);
-        }
-        std::sort(vpns.begin(), vpns.end());
-        for (Addr vpn : vpns) {
             Opn parent_opn = overlay_addr::pageFromVirtual(parent, vpn);
             BitVector64 obv = overlayMgr_.obitvector(parent_opn);
             if (obv.none())
@@ -583,6 +671,40 @@ System::fork(Asid parent, ForkMode mode, Tick when, Tick *done)
         trace::end("system", "fork", t);
     if (done)
         *done = t;
+    return child;
+}
+
+Asid
+System::forkFunctional(Asid parent, ForkMode mode)
+{
+    Asid child = vmm_.fork(parent, mode);
+    Process &parent_proc = vmm_.process(parent);
+    forkPagesShared_ += parent_proc.pageTable.size();
+
+    // §4.1 overlay copy, functional half only: the child's overlays get
+    // the parent's lines, but no cache or DRAM activity is charged.
+    if (config_.overlaysEnabled) {
+        for (auto &&[vpn, pte] : parent_proc.pageTable) {
+            (void)pte;
+            Opn parent_opn = overlay_addr::pageFromVirtual(parent, vpn);
+            BitVector64 obv = overlayMgr_.obitvector(parent_opn);
+            if (obv.none())
+                continue;
+            Opn child_opn = overlay_addr::pageFromVirtual(child, vpn);
+            for (unsigned l = obv.findFirst(); l < kLinesPerPage;
+                 l = obv.findNext(l)) {
+                LineData data;
+                overlayMgr_.readLineData(parent_opn, l, data);
+                overlayMgr_.writeLineData(child_opn, l, data);
+                ++forkOverlayLinesCopied_;
+            }
+        }
+    }
+
+    // The parent's cached translations really are stale (cow now set):
+    // dropping them is architectural state, not timing.
+    for (auto &tlb : tlbs_)
+        tlb->invalidateAsid(parent);
     return child;
 }
 
@@ -627,16 +749,52 @@ System::destroyProcess(Asid asid, Tick when)
 {
     // Collect first: unmap() mutates the page table while iterating.
     // Teardown order is timing-visible (cache invalidations, frame
-    // recycling), so pin it to ascending VPN rather than container order.
+    // recycling); PageTable iteration is already ascending-VPN, so the
+    // collected order needs no separate sort.
     std::vector<Addr> vpns;
     vpns.reserve(vmm_.process(asid).pageTable.size());
     for (auto &&[vpn, pte] : vmm_.process(asid).pageTable) {
         (void)pte;
         vpns.push_back(vpn);
     }
-    std::sort(vpns.begin(), vpns.end());
     for (Addr vpn : vpns)
         unmap(asid, vpn << kPageShift, kPageSize, when);
+    for (auto &tlb : tlbs_)
+        tlb->invalidateAsid(asid);
+}
+
+void
+System::destroyProcessFunctional(Asid asid)
+{
+    // Mirrors destroyProcess()/unmap() step for step, with cache drops
+    // instead of invalidate+writeback: functional data lives in the
+    // backing stores, so nothing is lost, and DRAM state stays put.
+    std::vector<Addr> vpns;
+    vpns.reserve(vmm_.process(asid).pageTable.size());
+    for (auto &&[vpn, pte] : vmm_.process(asid).pageTable) {
+        (void)pte;
+        vpns.push_back(vpn);
+    }
+    for (Addr vpn : vpns) {
+        Opn opn = overlay_addr::pageFromVirtual(asid, vpn);
+        BitVector64 obv = overlayMgr_.obitvector(opn);
+        overlayMgr_.discardOverlay(opn);
+        for (unsigned l = obv.findFirst(); l < kLinesPerPage;
+             l = obv.findNext(l)) {
+            caches_.dropLine((opn << kPageShift) | (Addr(l) << kLineShift));
+        }
+        for (auto &tlb : tlbs_)
+            tlb->invalidate(asid, vpn);
+        Pte *pte = vmm_.resolve(asid, vpn);
+        if (pte->ppn != PhysicalMemory::kZeroFrame &&
+            physMem_.refCount(pte->ppn) == 1) {
+            for (unsigned l = 0; l < kLinesPerPage; ++l) {
+                caches_.dropLine((pte->ppn << kPageShift) |
+                                 (Addr(l) << kLineShift));
+            }
+        }
+        vmm_.unmap(asid, vpn << kPageShift, kPageSize);
+    }
     for (auto &tlb : tlbs_)
         tlb->invalidateAsid(asid);
 }

@@ -149,6 +149,41 @@ class System : public SimObject
 
     // ----- functional-only access (no timing) ---------------------------
 
+    /**
+     * Functional fast-forward of one access (sampled simulation, see
+     * DESIGN.md §10): performs exactly the architectural transitions of
+     * access() — TLB warming/fills, overlaying writes (OBitVector + OMT
+     * + overlay data), CoW breaks — plus SMARTS-style functional warming
+     * of the cache tag/replacement state (CacheHierarchy::warmLine), so
+     * detailed windows resumed after a functional gap start from warm
+     * microarchitectural state instead of a cold-start transient. No
+     * ticks are charged anywhere: DRAM bank state, prefetcher training,
+     * ORE serialization and all statistics except the architectural
+     * event counters stay untouched, and a run with zero functional
+     * accesses is byte-identical to a pure-detailed run.
+     *
+     * Overlay promotion is an OS timing policy and must be disabled
+     * (config.promoteThresholdLines == kLinesPerPage) when functional
+     * overlaying writes can occur.
+     */
+    void accessFunctional(Asid asid, Addr vaddr, bool is_write,
+                          unsigned core = 0);
+
+    /**
+     * Functional fork: duplicates the address space and copies overlay
+     * contents (§4.1) without charging the table-copy DRAM traffic or
+     * the overlay-line cache accesses. Parent TLB entries are still
+     * invalidated (they are architecturally stale: cow is now set).
+     */
+    Asid forkFunctional(Asid parent, ForkMode mode);
+
+    /**
+     * Functional teardown: releases frames, overlays (OMS segments, OMT
+     * entries) and translations like destroyProcess(), but drops cached
+     * lines without writebacks — no DRAM or tick movement.
+     */
+    void destroyProcessFunctional(Asid asid);
+
     /** Functional store honouring overlay semantics (may transition). */
     void poke(Asid asid, Addr vaddr, const void *data, std::size_t len);
 
@@ -316,6 +351,7 @@ class System : public SimObject
     Tick samplerNext_ = kMaxTick;
 
     stats::Counter accesses_;
+    stats::Counter functionalAccesses_;
     stats::Counter tlbWalks_;
     stats::Counter cowFaults_;
     stats::Counter cowLinesCopied_;

@@ -1,5 +1,7 @@
 #include "tlb.hh"
 
+#include <algorithm>
+
 #include "common/intmath.hh"
 #include "common/logging.hh"
 #include "sim/trace.hh"
@@ -10,6 +12,7 @@ namespace ovl
 Tlb::Tlb(std::string name, TlbParams params)
     : SimObject(std::move(name)), params_(params),
       numSets_(params.entries / params.associativity),
+      keys_(params.entries, kNoKey),
       ways_(params.entries),
       hits_(&statGroup(), "hits", "TLB hits"),
       misses_(&statGroup(), "misses", "TLB misses"),
@@ -32,7 +35,7 @@ void
 Tlb::invalidate(Asid asid, Addr vpn)
 {
     if (Way *way = findWay(asid, vpn)) {
-        way->valid = false;
+        keys_[std::size_t(way - ways_.data())] = kNoKey;
         noteErased(asid);
     }
 }
@@ -40,9 +43,9 @@ Tlb::invalidate(Asid asid, Addr vpn)
 void
 Tlb::invalidateAsid(Asid asid)
 {
-    for (Way &way : ways_) {
-        if (way.valid && way.asid == asid)
-            way.valid = false;
+    for (std::uint64_t &key : keys_) {
+        if (key != kNoKey && asidOf(key) == asid)
+            key = kNoKey;
     }
     if (asid < asidEntries_.size())
         asidEntries_[asid] = 0;
@@ -51,8 +54,7 @@ Tlb::invalidateAsid(Asid asid)
 void
 Tlb::flush()
 {
-    for (Way &way : ways_)
-        way.valid = false;
+    std::fill(keys_.begin(), keys_.end(), kNoKey);
     asidEntries_.assign(asidEntries_.size(), 0);
 }
 

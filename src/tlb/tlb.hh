@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bitvector64.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
 
@@ -80,29 +81,28 @@ class Tlb : public SimObject
     void
     insert(Asid asid, Addr vpn, const TlbEntryData &data)
     {
+        ovl_assert(vpn >> kVpnBits == 0, "VPN too wide for the TLB key");
         if (Way *way = findWay(asid, vpn)) {
             way->data = data;
             way->lruSeq = ++lruCounter_;
             return;
         }
-        Way *set = &ways_[std::size_t(setOf(vpn)) * params_.associativity];
-        Way *victim = &set[0];
+        std::size_t base = std::size_t(setOf(vpn)) * params_.associativity;
+        unsigned victim = 0;
         for (unsigned w = 0; w < params_.associativity; ++w) {
-            if (!set[w].valid) {
-                victim = &set[w];
+            if (keys_[base + w] == kNoKey) {
+                victim = w;
                 break;
             }
-            if (set[w].lruSeq < victim->lruSeq)
-                victim = &set[w];
+            if (ways_[base + w].lruSeq < ways_[base + victim].lruSeq)
+                victim = w;
         }
-        if (victim->valid)
-            noteErased(victim->asid);
+        if (keys_[base + victim] != kNoKey)
+            noteErased(asidOf(keys_[base + victim]));
         noteInserted(asid);
-        victim->valid = true;
-        victim->asid = asid;
-        victim->vpn = vpn;
-        victim->data = data;
-        victim->lruSeq = ++lruCounter_;
+        keys_[base + victim] = keyOf(asid, vpn);
+        ways_[base + victim].data = data;
+        ways_[base + victim].lruSeq = ++lruCounter_;
     }
 
     /**
@@ -139,14 +139,25 @@ class Tlb : public SimObject
     std::uint64_t misses() const { return misses_.value(); }
 
   private:
+    /** Payload of one way; the (asid, vpn) tag lives in keys_. */
     struct Way
     {
-        bool valid = false;
-        Asid asid = 0;
-        Addr vpn = 0;
         TlbEntryData data;
         std::uint64_t lruSeq = 0;
     };
+
+    /** VPN bits in a packed key; the ASID occupies the bits above. */
+    static constexpr unsigned kVpnBits = 44;
+    /** Empty way. Real keys never set bits 60+ (16-bit ASID << 44). */
+    static constexpr std::uint64_t kNoKey = ~std::uint64_t(0);
+
+    static std::uint64_t
+    keyOf(Asid asid, Addr vpn)
+    {
+        return (std::uint64_t(asid) << kVpnBits) | vpn;
+    }
+
+    static Asid asidOf(std::uint64_t key) { return Asid(key >> kVpnBits); }
 
     unsigned setOf(Addr vpn) const { return unsigned(vpn) & (numSets_ - 1); }
 
@@ -163,16 +174,24 @@ class Tlb : public SimObject
     Way *
     findWay(Asid asid, Addr vpn)
     {
-        Way *set = &ways_[std::size_t(setOf(vpn)) * params_.associativity];
+        std::uint64_t key = keyOf(asid, vpn);
+        std::size_t base = std::size_t(setOf(vpn)) * params_.associativity;
         for (unsigned w = 0; w < params_.associativity; ++w) {
-            if (set[w].valid && set[w].asid == asid && set[w].vpn == vpn)
-                return &set[w];
+            if (keys_[base + w] == key)
+                return &ways_[base + w];
         }
         return nullptr;
     }
 
     TlbParams params_;
     unsigned numSets_;
+    /**
+     * Packed (asid << kVpnBits) | vpn tags, parallel to ways_ — the way
+     * scan runs at least once per simulated access, and one 8-byte
+     * compare per way beats touching the full Way record (whose
+     * OBitVector-bearing payload spans several lines per set).
+     */
+    std::vector<std::uint64_t> keys_;
     std::vector<Way> ways_;
     std::uint64_t lruCounter_ = 0;
     /** Resident-entry count per ASID, backing holdsAsid(). */

@@ -1,6 +1,7 @@
 #include "forkbench.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -146,17 +147,17 @@ namespace
  * footprint (prefetch-friendly), and a tail jumps randomly within the
  * hot set — overall miss rates in the few-percent range rather than the
  * cache-hostile uniform-random extreme.
+ *
+ * The generator is a template over the execution sink so the same
+ * op stream (same RNG draws, same order) can drive the detailed core or
+ * a sampled-simulation sink that switches between detailed execution and
+ * functional fast-forward per window (DESIGN.md §10).
  */
+template <typename Exec>
 void
-streamPhase(OooCore &core, Asid asid, const ForkBenchParams &p, Rng &rng,
-            std::uint64_t num_instructions, WriteSchedule *schedule,
-            std::vector<TraceOp> *record = nullptr)
+streamPhaseGen(Exec &&execute, const ForkBenchParams &p, Rng &rng,
+               std::uint64_t num_instructions, WriteSchedule *schedule)
 {
-    auto execute = [&](const TraceOp &op) {
-        core.executeOp(asid, op);
-        if (record != nullptr)
-            record->push_back(op);
-    };
     std::uint64_t budget = num_instructions;
     std::vector<Addr> rewrite_pool; // lines already written (for re-writes)
     unsigned burst_remaining = 0;   // clustered-pattern page burst
@@ -273,6 +274,21 @@ streamPhase(OooCore &core, Asid asid, const ForkBenchParams &p, Rng &rng,
         }
         --budget;
     }
+}
+
+/** The classic detailed-only phase: every op goes through the core. */
+void
+streamPhase(OooCore &core, Asid asid, const ForkBenchParams &p, Rng &rng,
+            std::uint64_t num_instructions, WriteSchedule *schedule,
+            std::vector<TraceOp> *record = nullptr)
+{
+    streamPhaseGen(
+        [&](const TraceOp &op) {
+            core.executeOp(asid, op);
+            if (record != nullptr)
+                record->push_back(op);
+        },
+        p, rng, num_instructions, schedule);
 }
 
 } // namespace
@@ -406,6 +422,212 @@ runForkBench(const ForkBenchParams &params, ForkMode mode,
         core.dumpStats(*dump_stats);
     }
     return res;
+}
+
+ForkBenchSampledResult
+runForkBenchSampled(const ForkBenchParams &params, ForkMode mode,
+                    SystemConfig config, const SampledSimParams &sampled,
+                    StatsSampler *sampler)
+{
+    ovl_assert(sampled.intervalInstructions > 0,
+               "sampled simulation needs a window size");
+    std::uint64_t detail =
+        sampled.detailedInstructions != 0
+            ? sampled.detailedInstructions
+            : std::max<std::uint64_t>(1, sampled.intervalInstructions / 10);
+    ovl_assert(detail <= sampled.intervalInstructions,
+               "detailed prefix larger than the window");
+    ovl_assert(config.promoteThresholdLines >= kLinesPerPage,
+               "sampled simulation requires promotion disabled");
+
+    ForkBenchSampledResult out;
+
+    // ------------------------- sampled run ----------------------------
+    {
+        config.name = params.name;
+        System system(config);
+        OooCore core(params.name + ".core", system);
+        Rng rng(params.seed);
+        if (sampler != nullptr)
+            system.attachStatsSampler(sampler, 0);
+
+        Asid parent = system.createProcess();
+        system.mapAnon(parent, kHeapBase,
+                       params.footprintPages * kPageSize);
+        core.beginEpoch(0);
+        streamPhase(core, parent, params, rng, params.warmupInstructions,
+                    nullptr);
+        Tick t = core.finishEpoch();
+        Tick fork_done = t;
+        system.fork(parent, mode, t, &fork_done);
+        system.markMemoryBaseline();
+        system.resetStats();
+
+        WriteSchedule schedule = buildSchedule(params, rng);
+
+        // Windowed sink: a detailed prefix measured as its own core
+        // epoch, then functional fast-forward to the window boundary.
+        // Simulated time only advances inside detailed prefixes.
+        Tick cursor = fork_done;
+        Tick detail_start = cursor;
+        std::uint64_t win_instr = 0;
+        bool in_detail = true;
+        // The first post-fork window always runs fully detailed: CoW
+        // faults and overlaying writes are densest right after the fork,
+        // so extrapolating a prefix of that transient 10x overestimates
+        // it badly. Sampling applies to the steady state that follows.
+        bool first_window = true;
+        SampledWindow win;
+        core.beginEpoch(cursor);
+
+        auto close_detail = [&]() {
+            cursor = core.finishEpoch();
+            win.detailedCycles = cursor - detail_start;
+            win.detailedInstructions = win_instr;
+        };
+        auto close_window = [&]() {
+            if (in_detail)
+                close_detail(); // window never left its detailed prefix
+            win.instructions = win_instr;
+            win.estimatedCycles =
+                win.detailedInstructions != 0
+                    ? double(win.detailedCycles) *
+                          (double(win.instructions) /
+                           double(win.detailedInstructions))
+                    : 0.0;
+            out.windows.push_back(win);
+            win = SampledWindow{};
+            win_instr = 0;
+            in_detail = true;
+            first_window = false;
+            detail_start = cursor;
+            core.beginEpoch(cursor);
+        };
+
+        streamPhaseGen(
+            [&](const TraceOp &op) {
+                if (in_detail) {
+                    core.executeOp(parent, op);
+                } else if (op.kind != TraceOp::Kind::Compute) {
+                    system.accessFunctional(
+                        parent, op.vaddr,
+                        op.kind == TraceOp::Kind::Store,
+                        core.coreIndex());
+                }
+                win_instr += op.kind == TraceOp::Kind::Compute
+                                 ? op.count
+                                 : 1;
+                std::uint64_t cur_detail =
+                    first_window ? sampled.intervalInstructions : detail;
+                if (in_detail && win_instr >= cur_detail &&
+                    cur_detail < sampled.intervalInstructions) {
+                    close_detail();
+                    in_detail = false;
+                }
+                if (win_instr >= sampled.intervalInstructions)
+                    close_window();
+            },
+            params, rng, params.postForkInstructions, &schedule);
+        if (win_instr > 0)
+            close_window();
+        cursor = core.finishEpoch(); // retire the epoch close_window armed
+
+        system.caches().flushAll(cursor);
+        if (sampler != nullptr) {
+            sampler->finish(cursor);
+            system.detachStatsSampler();
+        }
+
+        double est_cycles = 0.0;
+        for (const SampledWindow &w : out.windows) {
+            est_cycles += w.estimatedCycles;
+            out.totalInstructions += w.instructions;
+            out.detailedInstructions += w.detailedInstructions;
+        }
+        out.sampled.name = params.name;
+        out.sampled.type = params.type;
+        out.sampled.mode = mode;
+        out.sampled.additionalMemoryMB =
+            double(system.additionalMemoryBytes()) / double(1_MiB);
+        out.sampled.cpi = out.totalInstructions != 0
+                              ? est_cycles / double(out.totalInstructions)
+                              : 0.0;
+        out.sampled.cowFaults = system.cowFaults();
+        out.sampled.overlayingWrites = system.overlayingWrites();
+        out.sampled.forkLatency = fork_done - t;
+    }
+
+    if (!sampled.compareFull)
+        return out;
+
+    // ----------------------- full-detail twin -------------------------
+    // One monolithic epoch over the identical op stream — byte-identical
+    // to runForkBench — with issue-cursor snapshots at the same window
+    // boundaries the sampled run used.
+    {
+        config.name = params.name;
+        System system(config);
+        OooCore core(params.name + ".core", system);
+        Rng rng(params.seed);
+
+        Asid parent = system.createProcess();
+        system.mapAnon(parent, kHeapBase,
+                       params.footprintPages * kPageSize);
+        core.beginEpoch(0);
+        streamPhase(core, parent, params, rng, params.warmupInstructions,
+                    nullptr);
+        Tick t = core.finishEpoch();
+        Tick fork_done = t;
+        system.fork(parent, mode, t, &fork_done);
+        system.markMemoryBaseline();
+        system.resetStats();
+
+        WriteSchedule schedule = buildSchedule(params, rng);
+        core.beginEpoch(fork_done);
+        std::size_t wi = 0;
+        std::uint64_t win_instr = 0;
+        Tick last_mark = fork_done;
+        streamPhaseGen(
+            [&](const TraceOp &op) {
+                core.executeOp(parent, op);
+                win_instr += op.kind == TraceOp::Kind::Compute
+                                 ? op.count
+                                 : 1;
+                if (win_instr >= sampled.intervalInstructions) {
+                    Tick now = core.currentCycle();
+                    if (wi < out.windows.size())
+                        out.windows[wi].fullCycles = now - last_mark;
+                    last_mark = now;
+                    ++wi;
+                    win_instr = 0;
+                }
+            },
+            params, rng, params.postForkInstructions, &schedule);
+        Tick end = core.finishEpoch();
+        if (win_instr > 0 && wi < out.windows.size())
+            out.windows[wi].fullCycles = end - last_mark;
+        system.caches().flushAll(end);
+        out.fullCpi = core.epochCpi();
+    }
+
+    double err_sum = 0.0;
+    unsigned err_count = 0;
+    for (const SampledWindow &w : out.windows) {
+        if (w.fullCycles == 0)
+            continue;
+        double err = 100.0 *
+                     std::abs(w.estimatedCycles - double(w.fullCycles)) /
+                     double(w.fullCycles);
+        err_sum += err;
+        out.maxWindowErrorPct = std::max(out.maxWindowErrorPct, err);
+        ++err_count;
+    }
+    out.meanWindowErrorPct = err_count != 0 ? err_sum / err_count : 0.0;
+    out.cpiErrorPct =
+        out.fullCpi != 0.0
+            ? 100.0 * std::abs(out.sampled.cpi - out.fullCpi) / out.fullCpi
+            : 0.0;
+    return out;
 }
 
 } // namespace ovl

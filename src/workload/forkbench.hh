@@ -99,6 +99,53 @@ struct ForkBenchResult
     Tick forkLatency = 0;
 };
 
+/**
+ * Sampled-simulation control (DESIGN.md §10): the post-fork instruction
+ * stream is cut into windows of @c intervalInstructions; the first
+ * @c detailedInstructions of each window run through the detailed core
+ * and memory-system model, the remainder fast-forwards functionally
+ * (System::accessFunctional — architectural transitions plus functional
+ * cache/TLB warming, zero tick movement). Each window's cycles are
+ * extrapolated from its detailed prefix: est_k = detailed_cycles_k *
+ * window_instr_k / detailed_instr_k. The first post-fork window always
+ * runs fully detailed — the fork transient (the dense burst of CoW
+ * faults / overlaying writes) is the phenomenon under study and does
+ * not extrapolate; sampling covers the steady state after it.
+ */
+struct SampledSimParams
+{
+    std::uint64_t intervalInstructions = 0; ///< window size (0 = invalid)
+    /** Detailed prefix per window; 0 = intervalInstructions / 10. */
+    std::uint64_t detailedInstructions = 0;
+    /** Also run the full-detail twin and fill the error fields. */
+    bool compareFull = false;
+};
+
+/** One sampling window of a sampled run. */
+struct SampledWindow
+{
+    std::uint64_t instructions = 0;         ///< consumed in the window
+    std::uint64_t detailedInstructions = 0; ///< detailed prefix size
+    Tick detailedCycles = 0;                ///< cycles of the prefix
+    double estimatedCycles = 0.0;           ///< extrapolated window cycles
+    Tick fullCycles = 0;                    ///< twin run (compareFull)
+};
+
+/** Outcome of a sampled run (plus the full-run comparison if requested). */
+struct ForkBenchSampledResult
+{
+    /** Estimated figures; cpi is the per-window extrapolation. */
+    ForkBenchResult sampled;
+    std::vector<SampledWindow> windows;
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t detailedInstructions = 0;
+    /** Filled when SampledSimParams::compareFull is set. */
+    double fullCpi = 0.0;
+    double cpiErrorPct = 0.0;
+    double meanWindowErrorPct = 0.0;
+    double maxWindowErrorPct = 0.0;
+};
+
 /** The 15-benchmark suite (5 per type), named per Figure 8. */
 const std::vector<ForkBenchParams> &forkBenchSuite();
 
@@ -130,6 +177,30 @@ ForkBenchResult runForkBench(const ForkBenchParams &params, ForkMode mode,
                              std::ostream *dump_stats = nullptr,
                              std::vector<TraceOp> *record = nullptr,
                              StatsSampler *sampler = nullptr);
+
+/**
+ * Run one benchmark in sampled-simulation mode (see SampledSimParams).
+ * Warmup and the fork itself always run detailed; sampling applies to
+ * the post-fork measurement phase. The generator consumes the identical
+ * op stream as runForkBench (same RNG draws), so the detailed windows
+ * see the accesses a full run would have issued at those points, against
+ * architectural state kept exact by the functional fast-forward.
+ *
+ * When @p sampled.compareFull is set, a full-detail twin runs the same
+ * stream in one epoch (byte-identical to runForkBench) with
+ * core.currentCycle() snapshots at window boundaries, and the result's
+ * error fields report the per-window and end-to-end extrapolation error.
+ * When @p sampler is non-null it is attached to the sampled run's System
+ * (PR 4 tick-domain sampling: records fire only inside detailed windows,
+ * where simulated time advances).
+ *
+ * Requires promotion disabled (the default SystemConfig): the functional
+ * fast-forward cannot run the OS promotion policy.
+ */
+ForkBenchSampledResult runForkBenchSampled(const ForkBenchParams &params,
+                                           ForkMode mode, SystemConfig config,
+                                           const SampledSimParams &sampled,
+                                           StatsSampler *sampler = nullptr);
 
 } // namespace ovl
 

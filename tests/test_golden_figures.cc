@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Figure-level golden-determinism guard for the overlay metadata engine:
+ * miniature fig09 (fork CPI), fig10 (SpMV overlay-vs-CSR) and table1
+ * (technique-slice) runs with fixed seeds, pinned to the exact values of
+ * the pre-dense-OMT tree. Any host-side refactor of the OMT/OMS path
+ * (dense table, flattened page store, fused retag) must reproduce these
+ * bit for bit; a mismatch means simulated behavior moved, and the change
+ * must be fixed rather than the constants re-pinned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/ooo_core.hh"
+#include "sparse/csr.hh"
+#include "sparse/overlay_matrix.hh"
+#include "sparse/spmv.hh"
+#include "system/system.hh"
+#include "workload/forkbench.hh"
+#include "workload/matrixgen.hh"
+
+namespace ovl
+{
+namespace
+{
+
+/**
+ * The table1-style slice: a suite benchmark scaled down by 8 with short
+ * epochs — the same recipe bench/table1_techniques.cc uses, and a dense
+ * exercise of fork, overlaying writes, CoW, promotion and teardown.
+ */
+ForkBenchResult
+forkSlice(const char *name, ForkMode mode)
+{
+    ForkBenchParams params = forkBenchByName(name);
+    params.warmupInstructions = 60'000;
+    params.postForkInstructions = 300'000;
+    params.footprintPages /= 8;
+    params.hotPages /= 8;
+    params.dirtyPages /= 8;
+    return runForkBench(params, mode, SystemConfig{});
+}
+
+} // namespace
+
+TEST(GoldenFigures, Fig09ForkSlicesAreBitForBitStable)
+{
+    // One benchmark per write-working-set type, both fork modes.
+    ForkBenchResult r = forkSlice("libq", ForkMode::CopyOnWrite);
+    EXPECT_EQ(r.cpi, 1.3710199999999999);
+    EXPECT_EQ(r.additionalMemoryMB, 0.0078125);
+    EXPECT_EQ(r.cowFaults, 2u);
+    EXPECT_EQ(r.forkLatency, 6610u);
+
+    r = forkSlice("libq", ForkMode::OverlayOnWrite);
+    EXPECT_EQ(r.cpi, 1.3371233333333334);
+    EXPECT_EQ(r.additionalMemoryMB, 0.0166015625);
+    EXPECT_EQ(r.overlayingWrites, 8u);
+
+    r = forkSlice("cactus", ForkMode::CopyOnWrite);
+    EXPECT_EQ(r.cpi, 2.74207);
+    EXPECT_EQ(r.additionalMemoryMB, 0.20703125);
+    EXPECT_EQ(r.cowFaults, 53u);
+    EXPECT_EQ(r.forkLatency, 8170u);
+
+    r = forkSlice("cactus", ForkMode::OverlayOnWrite);
+    EXPECT_EQ(r.cpi, 3.3312566666666665);
+    EXPECT_EQ(r.additionalMemoryMB, 0.220703125);
+    EXPECT_EQ(r.overlayingWrites, 3351u);
+}
+
+TEST(GoldenFigures, Table1TechniqueSliceIsBitForBitStable)
+{
+    // Technique 1's exact shape (mcf slice, both modes): the headline
+    // overlay-on-write win must reproduce to the last digit.
+    ForkBenchResult cow = forkSlice("mcf", ForkMode::CopyOnWrite);
+    EXPECT_EQ(cow.cpi, 4.9588833333333335);
+    EXPECT_EQ(cow.additionalMemoryMB, 0.48828125);
+    EXPECT_EQ(cow.cowFaults, 125u);
+    EXPECT_EQ(cow.forkLatency, 17890u);
+
+    ForkBenchResult oow = forkSlice("mcf", ForkMode::OverlayOnWrite);
+    EXPECT_EQ(oow.cpi, 1.8004766666666667);
+    EXPECT_EQ(oow.additionalMemoryMB, 0.08056640625);
+    EXPECT_EQ(oow.overlayingWrites, 500u);
+    EXPECT_EQ(oow.forkLatency, 17890u);
+}
+
+TEST(GoldenFigures, Fig10SpmvPairIsBitForBitStable)
+{
+    MatrixSpec spec;
+    spec.targetL = 4.0;
+    spec.nnz = 20'000;
+    CooMatrix coo = generateMatrix(spec);
+    std::vector<double> x(coo.cols);
+    Rng rng(3);
+    for (double &v : x)
+        v = rng.uniform();
+    SpmvAddrs addrs;
+
+    System ovl_sys((SystemConfig()));
+    OooCore ovl_core("core", ovl_sys);
+    Asid ovl_asid = ovl_sys.createProcess();
+    installVectors(ovl_sys, ovl_asid, addrs, x, coo.rows);
+    OverlayMatrix matrix(ovl_sys, ovl_asid, addrs.aBase);
+    matrix.build(coo);
+    SpmvResult overlay = spmvOverlay(ovl_sys, ovl_core, matrix, addrs, x, 0);
+    EXPECT_EQ(overlay.cycles, 188925u);
+    EXPECT_EQ(overlay.instructions, 96144u);
+    EXPECT_EQ(matrix.storedBytes(), 634368u);
+
+    System csr_sys((SystemConfig()));
+    OooCore csr_core("core", csr_sys);
+    Asid csr_asid = csr_sys.createProcess();
+    installVectors(csr_sys, csr_asid, addrs, x, coo.rows);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    installCsr(csr_sys, csr_asid, addrs, csr);
+    csr_sys.quiesce();
+    SpmvResult csr_res = spmvCsr(csr_sys, csr_core, csr_asid, addrs, csr, x,
+                                 0);
+    EXPECT_EQ(csr_res.cycles, 264990u);
+    EXPECT_EQ(csr_res.instructions, 125120u);
+    EXPECT_EQ(csr.bytes(), 244100u);
+}
+
+} // namespace ovl

@@ -100,12 +100,19 @@ TEST(OmsSegment, FourKbSegmentUsesDirectOffsets)
     }
 }
 
+/** Page-bump allocator hook for the devirtualized PageAllocFn. */
+Addr
+bumpPage(void *ctx)
+{
+    return *static_cast<Addr *>(ctx) += kPageSize;
+}
+
 class OmsAllocatorTest : public ::testing::Test
 {
   protected:
     OmsAllocatorTest()
         : alloc("oms", OmsAllocatorParams{4, 4, false},
-                [this] { return nextPage_ += kPageSize; })
+                PageAllocFn{&bumpPage, &nextPage_})
     {
     }
 
@@ -160,8 +167,7 @@ TEST(OmsAllocatorCoalesce, BuddiesMergeBackUp)
 {
     Addr next = 0;
     OmsAllocatorParams params{4, 4, true}; // coalescing on (extension)
-    OmsAllocator alloc("oms", params,
-                       [&next] { return next += kPageSize; });
+    OmsAllocator alloc("oms", params, PageAllocFn{&bumpPage, &next});
     Addr a = alloc.allocate(SegClass::Seg2KB);
     Addr b = alloc.allocate(SegClass::Seg2KB);
     std::size_t big_before = alloc.freeCount(SegClass::Seg4KB);
@@ -178,7 +184,7 @@ TEST(OmsAllocatorProperty, RandomChurnConservesBytes)
     // provided, under arbitrary allocate/release sequences.
     Addr next = 0;
     OmsAllocator alloc("oms", OmsAllocatorParams{8, 8, false},
-                       [&next] { return next += kPageSize; });
+                       PageAllocFn{&bumpPage, &next});
     Rng rng(3);
     std::vector<std::pair<Addr, SegClass>> live;
     std::uint64_t live_bytes = 0;
@@ -204,11 +210,59 @@ TEST(OmsAllocatorProperty, RandomChurnConservesBytes)
     }
 }
 
+TEST(OmsAllocatorProperty, SplitCoalesceRoundTripsConserveBytes)
+{
+    // Satellite property for the intrusive free lists: with coalescing
+    // enabled, arbitrary allocate/release churn (a) conserves bytes and
+    // (b) costs a bounded number of free-list touches per operation —
+    // no linear scans hiding in release() or tryCoalesce(). The worst
+    // single op is an allocate that splits 4K->256 (4 splits) or a
+    // release that coalesces 256->4K (4 merges), each touching a
+    // constant number of list nodes.
+    constexpr std::uint64_t kMaxTouchesPerOp = 16;
+    Addr next = 0;
+    OmsAllocator alloc("oms", OmsAllocatorParams{4, 4, true},
+                       PageAllocFn{&bumpPage, &next});
+    Rng rng(17);
+    std::vector<std::pair<Addr, SegClass>> live;
+    std::uint64_t live_bytes = 0;
+    for (int step = 0; step < 4000; ++step) {
+        std::uint64_t touches_before = alloc.listTouches();
+        if (live.empty() || rng.chance(0.55)) {
+            auto cls = SegClass(rng.below(kNumSegClasses));
+            live.push_back({alloc.allocate(cls), cls});
+            live_bytes += segClassBytes(cls);
+        } else {
+            std::size_t idx = rng.below(live.size());
+            auto [base, cls] = live[idx];
+            live[idx] = live.back();
+            live.pop_back();
+            alloc.release(base, cls);
+            live_bytes -= segClassBytes(cls);
+        }
+        ASSERT_LE(alloc.listTouches() - touches_before, kMaxTouchesPerOp)
+            << "free-list op not O(1) at step " << step;
+        std::uint64_t free_bytes = 0;
+        for (unsigned c = 0; c < kNumSegClasses; ++c) {
+            free_bytes += alloc.freeCount(SegClass(c)) *
+                          segClassBytes(SegClass(c));
+        }
+        ASSERT_EQ(live_bytes + free_bytes, alloc.osBytesProvided());
+    }
+    // Drain everything: coalescing must reconstitute whole pages.
+    for (auto &[base, cls] : live)
+        alloc.release(base, cls);
+    EXPECT_EQ(alloc.freeCount(SegClass::Seg4KB) * kPageSize,
+              alloc.osBytesProvided());
+    for (unsigned c = 0; c + 1 < kNumSegClasses; ++c)
+        EXPECT_EQ(alloc.freeCount(SegClass(c)), 0u);
+}
+
 TEST(OmsAllocatorProperty, NoOverlappingLiveSegments)
 {
     Addr next = 0;
     OmsAllocator alloc("oms", OmsAllocatorParams{8, 8, false},
-                       [&next] { return next += kPageSize; });
+                       PageAllocFn{&bumpPage, &next});
     Rng rng(9);
     std::vector<std::pair<Addr, SegClass>> live;
     for (int step = 0; step < 500; ++step) {

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/random.hh"
 #include "overlay/omt.hh"
 
 namespace ovl
@@ -13,11 +16,18 @@ namespace ovl
 namespace
 {
 
+/** Page-bump allocator hook for the devirtualized PageAllocFn. */
+Addr
+bumpPage(void *ctx)
+{
+    return *static_cast<Addr *>(ctx) += kPageSize;
+}
+
 class OmtTest : public ::testing::Test
 {
   protected:
     Addr next_ = 0x100000;
-    Omt omt{"omt", [this] { return next_ += kPageSize; }};
+    Omt omt{"omt", PageAllocFn{&bumpPage, &next_}};
 };
 
 TEST_F(OmtTest, FindOrCreateAndErase)
@@ -92,6 +102,82 @@ TEST_F(OmtTest, NodeBytesGrowWithFootprint)
     EXPECT_GT(first, 0u);
     omt.findOrCreate(Addr(1) << 40);
     EXPECT_GT(omt.nodeBytes(), first);
+}
+
+TEST_F(OmtTest, EraseOfMruCachedEntryIsVisibleImmediately)
+{
+    // Regression guard for the one-entry MRU cache: erasing the OPN that
+    // is currently cached must drop the cached pointer, or the very next
+    // find() would resurrect the dead entry.
+    OmtEntry &e = omt.findOrCreate(77); // 77 is now the MRU entry
+    e.obv.set(5);
+    omt.erase(77);
+    EXPECT_EQ(omt.find(77), nullptr);
+    // Re-creating it must yield a pristine entry, not the stale payload.
+    OmtEntry &fresh = omt.findOrCreate(77);
+    EXPECT_FALSE(fresh.obv.test(5));
+}
+
+TEST_F(OmtTest, EraseThenArenaReuseCannotAliasTheMru)
+{
+    // The erased entry's arena slot is recycled by the next creation; a
+    // stale MRU pointer for the erased OPN would alias the new OPN's
+    // entry. find(old) after the reuse must still say "gone".
+    omt.findOrCreate(100).obv.set(1);
+    omt.erase(100);
+    OmtEntry &reused = omt.findOrCreate(200); // recycles 100's slot
+    reused.obv.set(2);
+    EXPECT_EQ(omt.find(100), nullptr);
+    ASSERT_NE(omt.find(200), nullptr);
+    EXPECT_TRUE(omt.find(200)->obv.test(2));
+    EXPECT_FALSE(omt.find(200)->obv.test(1));
+}
+
+TEST(OmtSparsity, ScatteredOpnsStayCompactAndCorrect)
+{
+    // Property: OPNs scattered across the full 51-bit overlay space must
+    // not blow the table up — storage is one small chunk per populated
+    // 512-OPN window, never a dense index over the OPN itself. (A dense
+    // table over 2^51 OPNs would fail this test by running out of
+    // memory long before it finished.)
+    Addr next = 0x100000;
+    Omt omt("omt", PageAllocFn{&bumpPage, &next});
+    Rng rng(21);
+    std::vector<Opn> opns;
+    for (int i = 0; i < 1000; ++i) {
+        Opn opn = (Opn(1) << 50) | (rng.next() & ((Opn(1) << 50) - 1));
+        if (omt.find(opn) != nullptr)
+            continue; // rare collision
+        omt.findOrCreate(opn).obv.set(unsigned(opn) & 63);
+        opns.push_back(opn);
+    }
+    EXPECT_EQ(omt.size(), opns.size());
+    // Every populated window holds at least one live entry.
+    EXPECT_LE(omt.chunkCount(), opns.size());
+
+    std::vector<Addr> walk;
+    for (Opn opn : opns) {
+        ASSERT_NE(omt.find(opn), nullptr);
+        EXPECT_TRUE(omt.find(opn)->obv.test(unsigned(opn) & 63));
+        // Created entries have a full radix path, and the cached-chunk
+        // walk must agree with the generic node-map walk's last level.
+        omt.walkAddresses(opn, walk);
+        ASSERT_EQ(walk.size(), Omt::kWalkLevels);
+        EXPECT_EQ(omt.walkLastAddr(opn), walk.back());
+    }
+
+    // Erase half; the survivors must be unaffected.
+    for (std::size_t i = 0; i < opns.size(); i += 2)
+        omt.erase(opns[i]);
+    for (std::size_t i = 0; i < opns.size(); ++i) {
+        if (i % 2 == 0) {
+            EXPECT_EQ(omt.find(opns[i]), nullptr);
+        } else {
+            ASSERT_NE(omt.find(opns[i]), nullptr);
+            EXPECT_TRUE(
+                omt.find(opns[i])->obv.test(unsigned(opns[i]) & 63));
+        }
+    }
 }
 
 TEST(OmtCache, HitAfterMiss)

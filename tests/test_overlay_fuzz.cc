@@ -20,13 +20,20 @@ namespace ovl
 namespace
 {
 
+/** Page-bump allocator hook for the devirtualized PageAllocFn. */
+Addr
+bumpPage(void *ctx)
+{
+    return *static_cast<Addr *>(ctx) += kPageSize;
+}
+
 class OverlayFuzz : public ::testing::TestWithParam<std::uint64_t>
 {
   protected:
     OverlayFuzz()
         : dram("dram", DramTimingParams{}),
           ovm("ovm", OverlayManagerParams{}, dram,
-              [this] { return nextPage_ += kPageSize; })
+              PageAllocFn{&bumpPage, &nextPage_})
     {
     }
 

@@ -16,13 +16,20 @@ namespace ovl
 namespace
 {
 
+/** Page-bump allocator hook for the devirtualized PageAllocFn. */
+Addr
+bumpPage(void *ctx)
+{
+    return *static_cast<Addr *>(ctx) += kPageSize;
+}
+
 class OverlayManagerTest : public ::testing::Test
 {
   protected:
     OverlayManagerTest()
         : dram("dram", DramTimingParams{}),
           ovm("ovm", OverlayManagerParams{}, dram,
-              [this] { return nextPage_ += kPageSize; })
+              PageAllocFn{&bumpPage, &nextPage_})
     {
     }
 
