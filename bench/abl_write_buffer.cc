@@ -7,7 +7,11 @@
  * that the buffer must absorb.
  *
  * The four buffer sizes are independent System pairs and fan out over
- * the parallel sweep runner (`--jobs N`, OVL_JOBS).
+ * the parallel sweep runner (`--jobs N`, OVL_JOBS). The buffer depth is
+ * structural (it shapes the DRAM controller), so warm states cannot be
+ * shared across sizes — but within a size the warmup prefix is
+ * mode-independent, so each size warms up once and forks both modes
+ * from the warm machine (DESIGN.md §11).
  */
 
 #include <cstdio>
@@ -43,9 +47,13 @@ main(int argc, char **argv)
         [&entries, &params](std::size_t i) {
             SystemConfig cfg;
             cfg.writeBufferEntries = entries[i];
+            ForkBenchWarmState warm =
+                prepareForkBenchWarmState(params, cfg);
             Row row;
-            row.cow = runForkBench(params, ForkMode::CopyOnWrite, cfg);
-            row.oow = runForkBench(params, ForkMode::OverlayOnWrite, cfg);
+            row.cow =
+                runForkBenchFromWarmState(warm, ForkMode::CopyOnWrite);
+            row.oow =
+                runForkBenchFromWarmState(warm, ForkMode::OverlayOnWrite);
             return row;
         },
         jobs,

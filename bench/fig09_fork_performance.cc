@@ -4,9 +4,12 @@
  * a fork — copy-on-write vs overlay-on-write across the 15-benchmark
  * suite. The paper measures a 15% average performance improvement.
  *
- * The 30 System runs (15 benchmarks x 2 fork modes) are independent, so
- * they fan out over the parallel sweep runner (`--jobs N`, OVL_JOBS);
- * rows render in suite order afterwards, byte-identical to `--jobs 1`.
+ * Warm-start execution (DESIGN.md §11): in detailed mode each benchmark
+ * simulates its warmup prefix once and runs both fork modes from a
+ * clone of the warm machine — byte-identical rows at half the warmup
+ * cost. The benchmark items are independent, so they fan out over the
+ * parallel sweep runner (`--jobs N`, OVL_JOBS); rows render in suite
+ * order afterwards, byte-identical to `--jobs 1`.
  *
  * `--sample-interval N` switches the suite to sampled simulation
  * (DESIGN.md §10): each window of N post-fork instructions runs a
@@ -89,31 +92,45 @@ main(int argc, char **argv)
                 "------------------------------------------------------"
                 "----");
 
-    // Item 2i is benchmark i under CoW, item 2i+1 under OoW: one System
-    // per item for the best load balance across workers.
     const std::vector<ForkBenchParams> &suite = forkBenchSuite();
     std::vector<ForkBenchResult> results(suite.size() * 2);
     std::vector<ForkBenchSampledResult> sampled_results(
         sampling ? suite.size() * 2 : 0);
-    parallelMap(
-        suite.size() * 2,
-        [&](std::size_t i) {
-            ForkMode mode = i % 2 ? ForkMode::OverlayOnWrite
-                                  : ForkMode::CopyOnWrite;
-            if (sampling) {
+    if (sampling) {
+        // Sampled mode keeps one System per (benchmark, mode) item: the
+        // sampled flow interleaves detailed and functional execution and
+        // does not go through the warm-start path.
+        parallelMap(
+            suite.size() * 2,
+            [&](std::size_t i) {
+                ForkMode mode = i % 2 ? ForkMode::OverlayOnWrite
+                                      : ForkMode::CopyOnWrite;
                 sampled_results[i] = runForkBenchSampled(
                     suite[i / 2], mode, SystemConfig{}, sampled);
                 results[i] = sampled_results[i].sampled;
-            } else {
-                results[i] =
-                    runForkBench(suite[i / 2], mode, SystemConfig{});
-            }
-            return 0;
-        },
-        jobs,
-        [&suite](std::size_t i) {
-            return suite[i / 2].name + (i % 2 ? "/oow" : "/cow");
-        });
+                return 0;
+            },
+            jobs,
+            [&suite](std::size_t i) {
+                return suite[i / 2].name + (i % 2 ? "/oow" : "/cow");
+            });
+    } else {
+        // Detailed mode: warm up each benchmark once, fork both modes
+        // from the warm machine.
+        parallelMap(
+            suite.size(),
+            [&](std::size_t i) {
+                ForkBenchWarmState warm =
+                    prepareForkBenchWarmState(suite[i], SystemConfig{});
+                results[2 * i] = runForkBenchFromWarmState(
+                    warm, ForkMode::CopyOnWrite);
+                results[2 * i + 1] = runForkBenchFromWarmState(
+                    warm, ForkMode::OverlayOnWrite);
+                return 0;
+            },
+            jobs,
+            [&suite](std::size_t i) { return suite[i].name; });
+    }
 
     double speedup_sum = 0;
     unsigned count = 0, last_type = 0;

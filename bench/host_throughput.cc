@@ -7,15 +7,18 @@
  * and core count — the same wall that pushes Virtuoso to imitation-based
  * modeling and gem5-class simulators to sampled slices.
  *
- * Output: BENCH_throughput.json (schema: workload -> {accesses, seconds,
+ * Output: BENCH_throughput.json (schema: a "_run" entry with {jobs,
+ * wall_seconds} for the whole run, then workload -> {accesses, seconds,
  * Maccess_per_s, simulated_ticks, jobs, wall_seconds}). simulated_ticks
  * is a determinism fingerprint: a host-side optimization must not move
  * it by a single tick (scripts/bench_compare.py diffs two runs and flags
- * regressions). jobs records how many worker threads ran the workloads
- * and wall_seconds the whole-run wall-clock; per-workload Maccess_per_s
- * is only comparable between runs with equal jobs (workloads contend for
- * cores when jobs > 1), so bench_compare.py skips the throughput gate on
- * a jobs mismatch but always checks simulated_ticks.
+ * regressions). jobs records how many worker threads ran the workloads.
+ * Per-workload wall_seconds is that workload's own wall-clock including
+ * setup (seconds times only the measured hot loop); the run total lives
+ * in "_run". Per-workload Maccess_per_s is only comparable between runs
+ * with equal jobs (workloads contend for cores when jobs > 1), so
+ * bench_compare.py skips the throughput and wall gates on a jobs
+ * mismatch but always checks simulated_ticks.
  *
  * Usage: host_throughput [-o out.json] [--scale N] [--jobs N]
  *                        [--only NAME]
@@ -24,8 +27,8 @@
  *   --scale multiplies every workload's access count (default 1).
  *   --only runs a single workload by name (repeatable; profiling and
  *     per-workload A/B runs want an unpolluted measurement).
- *   --jobs runs the five workloads on N worker threads (default 1:
- *     serial, the measurement-isolation default for this harness).
+ *   --jobs runs the workloads on N worker threads (default 1: serial,
+ *     the measurement-isolation default for this harness).
  *   --sample-interval/--stats-out stream a JSONL stats sample every N
  *     ticks (DESIGN.md §9); requires --jobs 1 (one shared output).
  *   --trace-out writes a Chrome trace-event JSON of the run.
@@ -43,11 +46,14 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+
 #include "common/random.hh"
 #include "sim/parallel.hh"
 #include "sim/stats_sampler.hh"
 #include "sim/trace.hh"
 #include "system/system.hh"
+#include "workload/forkbench.hh"
 
 using namespace ovl;
 
@@ -60,6 +66,8 @@ struct Result
     std::uint64_t accesses = 0;
     double seconds = 0.0;
     Tick simulatedTicks = 0;
+    /** Whole-workload wall time (setup included); filled by the runner. */
+    double wallSeconds = 0.0;
 };
 
 using Clock = std::chrono::steady_clock;
@@ -313,6 +321,89 @@ forkCowSampled(std::uint64_t accesses, StatsSampler *sampler)
     return Result{"fork_cow_sampled", done - kPages, secs, t};
 }
 
+/**
+ * Warm-start sweep pair (DESIGN.md §11): a miniature promotion-threshold
+ * sweep (four rows) over one fork benchmark, run two ways.
+ * sweep_coldstart simulates the warmup prefix for every row — the
+ * pre-snapshot execution model. sweep_warmstart simulates the prefix
+ * once and forks every row from a clone of the warm machine. The rows
+ * are byte-identical either way (the warmup is fork-mode- and
+ * promotion-threshold-independent), so the two workloads' simulated_ticks
+ * fingerprints must be equal; the wall-clock ratio between them is the
+ * warm-start speedup, recorded in the JSON. `accesses` counts the
+ * simulated instructions each variant actually executes. The stats
+ * sampler is not supported here (each row runs its own System), so the
+ * parameter is ignored.
+ */
+struct SweepRow
+{
+    ForkMode mode;
+    unsigned threshold;
+};
+
+constexpr SweepRow kSweepRows[] = {
+    {ForkMode::CopyOnWrite, 64},
+    {ForkMode::OverlayOnWrite, 64},
+    {ForkMode::OverlayOnWrite, 32},
+    {ForkMode::OverlayOnWrite, 8},
+};
+
+ForkBenchParams
+sweepParams(std::uint64_t accesses)
+{
+    // Warmup-dominated on purpose: the sweep's shared prefix is the cost
+    // the warm-start path amortizes across the four rows.
+    ForkBenchParams p = forkBenchByName("libq");
+    p.warmupInstructions = accesses * 3 / 4;
+    p.postForkInstructions = accesses / 16;
+    return p;
+}
+
+/** Row digest in tick units: any field divergence moves it. */
+Tick
+rowFingerprint(const ForkBenchResult &r)
+{
+    return r.forkLatency + Tick(r.cowFaults) + Tick(r.overlayingWrites) +
+           Tick(std::llround(r.cpi * 1e6)) +
+           Tick(std::llround(r.additionalMemoryMB * 1e6));
+}
+
+Result
+sweepColdstart(std::uint64_t accesses, StatsSampler *)
+{
+    ForkBenchParams params = sweepParams(accesses);
+    Tick fp = 0;
+    std::uint64_t instructions = 0;
+    auto start = Clock::now();
+    for (const SweepRow &row : kSweepRows) {
+        SystemConfig cfg;
+        cfg.promoteThresholdLines = row.threshold;
+        fp += rowFingerprint(runForkBench(params, row.mode, cfg));
+        instructions +=
+            params.warmupInstructions + params.postForkInstructions;
+    }
+    return Result{"sweep_coldstart", instructions, elapsed(start), fp};
+}
+
+Result
+sweepWarmstart(std::uint64_t accesses, StatsSampler *)
+{
+    ForkBenchParams params = sweepParams(accesses);
+    Tick fp = 0;
+    auto start = Clock::now();
+    ForkBenchWarmState warm =
+        prepareForkBenchWarmState(params, SystemConfig{});
+    std::uint64_t instructions = params.warmupInstructions;
+    for (const SweepRow &row : kSweepRows) {
+        SystemConfig cfg;
+        cfg.promoteThresholdLines = row.threshold;
+        fp += rowFingerprint(
+            runForkBenchFromWarmState(warm, row.mode, &cfg));
+        instructions += params.postForkInstructions;
+    }
+    return Result{"sweep_warmstart", instructions, elapsed(start), fp};
+}
+
 void
 writeJson(const std::vector<Result> &results, const std::string &path,
           unsigned jobs, double wall_seconds)
@@ -323,6 +414,8 @@ writeJson(const std::vector<Result> &results, const std::string &path,
         std::exit(1);
     }
     std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"_run\": {\"jobs\": %u, \"wall_seconds\": %.6f},\n",
+                 jobs, wall_seconds);
     for (std::size_t i = 0; i < results.size(); ++i) {
         const Result &r = results[i];
         double maps = double(r.accesses) / r.seconds / 1e6;
@@ -333,7 +426,7 @@ writeJson(const std::vector<Result> &results, const std::string &path,
                      r.workload.c_str(),
                      (unsigned long long)r.accesses, r.seconds, maps,
                      (unsigned long long)r.simulatedTicks, jobs,
-                     wall_seconds,
+                     r.wallSeconds,
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "}\n");
@@ -398,7 +491,7 @@ main(int argc, char **argv)
         return 1;
     }
     if (!sample_path.empty() && jobs != 1) {
-        // The five workloads would interleave records in the one JSONL
+        // Parallel workloads would interleave records in the one JSONL
         // stream; keep sampled runs serial.
         std::fprintf(stderr, "%s: --stats-out requires --jobs 1\n",
                      argv[0]);
@@ -416,15 +509,19 @@ main(int argc, char **argv)
         trace::start(trace_path, trace_limit);
 
     Result (*const all_workloads[])(std::uint64_t, StatsSampler *) = {
-        seqRead, seqWrite, randomMix, sparseSpmv, forkCow, forkCowSampled,
+        seqRead,        seqWrite,       randomMix,
+        sparseSpmv,     forkCow,        forkCowSampled,
+        sweepColdstart, sweepWarmstart,
     };
     const char *const all_names[] = {
         "seq_read",    "seq_write", "random_mix",
         "sparse_spmv", "fork_cow",  "fork_cow_sampled",
+        "sweep_coldstart", "sweep_warmstart",
     };
     const std::uint64_t all_counts[] = {
         4'000'000 * scale, 4'000'000 * scale, 2'000'000 * scale,
         2'000'000 * scale, 1'000'000 * scale, 1'000'000 * scale,
+        1'000'000 * scale, 1'000'000 * scale,
     };
 
     std::vector<Result (*)(std::uint64_t, StatsSampler *)> workloads;
@@ -454,7 +551,11 @@ main(int argc, char **argv)
                 sampler.emplace(sample_os, sample_interval,
                                 StatsSampler::Mode::Delta, names[i]);
             }
-            return workloads[i](counts[i], sampler ? &*sampler : nullptr);
+            auto workload_start = Clock::now();
+            Result r =
+                workloads[i](counts[i], sampler ? &*sampler : nullptr);
+            r.wallSeconds = elapsed(workload_start);
+            return r;
         },
         jobs,
         [&names](std::size_t i) { return names[i]; });
@@ -466,12 +567,13 @@ main(int argc, char **argv)
     if (!sample_path.empty())
         std::printf("stats samples written to %s\n", sample_path.c_str());
 
-    std::printf("%-12s %12s %9s %14s %18s\n", "workload", "accesses",
-                "seconds", "Maccess/s", "simulated_ticks");
+    std::printf("%-16s %12s %9s %9s %14s %18s\n", "workload", "accesses",
+                "seconds", "wall_s", "Maccess/s", "simulated_ticks");
     for (const Result &r : results) {
-        std::printf("%-12s %12llu %9.3f %14.3f %18llu\n",
+        std::printf("%-16s %12llu %9.3f %9.3f %14.3f %18llu\n",
                     r.workload.c_str(), (unsigned long long)r.accesses,
-                    r.seconds, double(r.accesses) / r.seconds / 1e6,
+                    r.seconds, r.wallSeconds,
+                    double(r.accesses) / r.seconds / 1e6,
                     (unsigned long long)r.simulatedTicks);
     }
     std::printf("%-12s jobs=%u wall=%.3fs\n", "(run)", jobs, wall_seconds);

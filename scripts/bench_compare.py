@@ -4,11 +4,18 @@
 Usage:
     scripts/bench_compare.py baseline.json candidate.json [--threshold 5]
 
-Compares host throughput (Maccess_per_s) per workload and prints the
-delta. A workload whose throughput drops by more than the threshold
-(default 5%) is a regression; any change in simulated_ticks is a
-determinism break (the optimizations this harness guards must not move
-the timing model by a single tick). Exits non-zero on either.
+Compares host throughput (Maccess_per_s) and per-workload wall time
+(wall_seconds) per workload and prints the deltas. A workload whose
+throughput drops — or whose wall time grows — by more than the
+threshold (default 5%) is a regression; any change in simulated_ticks
+is a determinism break (the optimizations this harness guards must not
+move the timing model by a single tick). Exits non-zero on either.
+
+Entries whose name starts with "_" (the "_run" run-level record) are
+not workloads and are skipped. Files written before the per-workload
+wall_seconds field stamped the run-level total onto every workload;
+wall comparison against such a baseline is still printed but reflects
+that older meaning.
 
 Workload sets may differ between the two files: a workload present in
 only one side is reported as "missing in baseline" / "missing in
@@ -49,7 +56,15 @@ def main():
     with open(args.candidate) as f:
         cand = json.load(f)
 
+    # Run-level entries are not workloads.
+    base = {n: v for n, v in base.items() if not n.startswith("_")}
+    cand = {n: v for n, v in cand.items() if not n.startswith("_")}
+
+    def geomean(ratios):
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
     norm = 1.0
+    wall_norm = 1.0
     if args.normalize:
         ratios = [cand[n]["Maccess_per_s"] / base[n]["Maccess_per_s"]
                   for n in base
@@ -57,26 +72,32 @@ def main():
                   and base[n].get("Maccess_per_s")
                   and cand[n].get("Maccess_per_s")]
         if ratios:
-            norm = math.exp(sum(math.log(r) for r in ratios)
-                            / len(ratios))
+            norm = geomean(ratios)
             print(f"normalizing by geomean ratio {norm:.3f} "
                   f"({len(ratios)} workloads)")
+        wall_ratios = [cand[n]["wall_seconds"] / base[n]["wall_seconds"]
+                       for n in base
+                       if n in cand
+                       and base[n].get("wall_seconds")
+                       and cand[n].get("wall_seconds")]
+        if wall_ratios:
+            wall_norm = geomean(wall_ratios)
 
     failed = False
-    print(f"{'workload':<14}{'base MA/s':>12}{'cand MA/s':>12}"
-          f"{'delta':>9}  notes")
+    print(f"{'workload':<16}{'base MA/s':>12}{'cand MA/s':>12}"
+          f"{'delta':>9}{'wall delta':>11}  notes")
     # Stable iteration over the union: baseline order first, then any
     # candidate-only workloads in their own order.
     names = list(base) + [n for n in cand if n not in base]
     for name in names:
         if name not in cand:
-            print(f"{name:<14}{'':>12}{'':>12}{'':>9}  "
+            print(f"{name:<16}{'':>12}{'':>12}{'':>9}{'':>11}  "
                   f"missing in candidate")
             failed = True
             continue
         if name not in base:
             cm = cand[name].get("Maccess_per_s", float("nan"))
-            print(f"{name:<14}{'':>12}{cm:>12.3f}{'':>9}  "
+            print(f"{name:<16}{'':>12}{cm:>12.3f}{'':>9}{'':>11}  "
                   f"missing in baseline (new workload)")
             failed = True
             continue
@@ -100,6 +121,19 @@ def main():
             elif delta < -args.threshold:
                 notes.append(f"REGRESSION (> {args.threshold:g}% slower)")
                 failed = True
+        # Per-workload wall time: slower is positive delta, and beyond
+        # the threshold it is a regression under the same jobs rule.
+        bw = b.get("wall_seconds")
+        cw = c.get("wall_seconds")
+        if bw and cw:
+            wall_delta = (cw / wall_norm - bw) / bw * 100.0
+            wall_text = f"{wall_delta:>+10.1f}%"
+            if b_jobs == c_jobs and wall_delta > args.threshold:
+                notes.append(f"WALL REGRESSION (> {args.threshold:g}% "
+                             f"slower)")
+                failed = True
+        else:
+            wall_text = f"{'n/a':>11}"
         if (b.get("simulated_ticks") is not None
                 and c.get("simulated_ticks") is not None
                 and b.get("accesses") == c.get("accesses")
@@ -108,7 +142,7 @@ def main():
             failed = True
         bm_text = f"{bm:>12.3f}" if bm is not None else f"{'n/a':>12}"
         cm_text = f"{cm:>12.3f}" if cm is not None else f"{'n/a':>12}"
-        print(f"{name:<14}{bm_text}{cm_text}{delta_text}  "
+        print(f"{name:<16}{bm_text}{cm_text}{delta_text}{wall_text}  "
               f"{'; '.join(notes)}")
 
     return 1 if failed else 0

@@ -67,4 +67,47 @@ SetAssocCache::flushAll()
     std::fill(state_.begin(), state_.end(), LineState{});
 }
 
+void
+SetAssocCache::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("CACH");
+    w.u64(tags_.size());
+    for (Addr tag : tags_)
+        w.u64(tag);
+    for (const LineState &st : state_) {
+        w.b(st.dirty);
+        w.b(st.prefetched);
+    }
+    for (const ReplState &rs : replStates_) {
+        w.u64(rs.lruSeq);
+        w.u8(rs.rrpv);
+    }
+    repl_.serialize(w);
+    w.endSection();
+}
+
+void
+SetAssocCache::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("CACH");
+    std::uint64_t n = r.u64();
+    if (n != tags_.size()) {
+        r.fail("cache '" + name() + "' line count mismatch: snapshot " +
+               std::to_string(n) + ", configured " +
+               std::to_string(tags_.size()));
+    }
+    for (Addr &tag : tags_)
+        tag = r.u64();
+    for (LineState &st : state_) {
+        st.dirty = r.b();
+        st.prefetched = r.b();
+    }
+    for (ReplState &rs : replStates_) {
+        rs.lruSeq = r.u64();
+        rs.rrpv = r.u8();
+    }
+    repl_.deserialize(r);
+    r.endSection();
+}
+
 } // namespace ovl

@@ -1,6 +1,7 @@
 #include "hierarchy.hh"
 
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ovl
 {
@@ -91,6 +92,30 @@ CacheHierarchy::resetStats()
     l2_.resetStats();
     l3_.resetStats();
     prefetcher_.resetStats();
+}
+
+void
+CacheHierarchy::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("HIER");
+    l1_.serialize(w);
+    l2_.serialize(w);
+    l3_.serialize(w);
+    prefetcher_.serialize(w);
+    w.u64(prefetchBusyUntil_);
+    w.endSection();
+}
+
+void
+CacheHierarchy::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("HIER");
+    l1_.deserialize(r);
+    l2_.deserialize(r);
+    l3_.deserialize(r);
+    prefetcher_.deserialize(r);
+    prefetchBusyUntil_ = r.u64();
+    r.endSection();
 }
 
 } // namespace ovl

@@ -140,6 +140,14 @@ class CacheHierarchy : public SimObject
 
     void resetStats() override;
 
+    /**
+     * Snapshot all three levels, the prefetcher and the prefetch
+     * bandwidth cursor. prefetchScratch_ is a transient buffer cleared
+     * before every use and carries no state.
+     */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
+
   private:
     void handleL1Victim(const Eviction &ev, Tick when);
     void handleL2Victim(const Eviction &ev, Tick when);

@@ -1,6 +1,7 @@
 #include "prefetcher.hh"
 
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ovl
 {
@@ -34,6 +35,51 @@ StreamPrefetcher::allocateStream()
             victim = i;
     }
     return victim;
+}
+
+void
+StreamPrefetcher::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("PREF");
+    w.u64(streams_.size());
+    for (const Stream &s : streams_) {
+        w.b(s.confirmed);
+        w.i64(s.direction);
+        w.u32(s.strikes);
+        w.u64(s.prefetchHead);
+    }
+    for (Addr last : lastLines_)
+        w.u64(last);
+    for (std::uint64_t seq : lruSeqs_)
+        w.u64(seq);
+    w.u64(validMask_);
+    w.u64(lruCounter_);
+    w.endSection();
+}
+
+void
+StreamPrefetcher::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("PREF");
+    std::uint64_t n = r.u64();
+    if (n != streams_.size()) {
+        r.fail("prefetcher stream count mismatch: snapshot " +
+               std::to_string(n) + ", configured " +
+               std::to_string(streams_.size()));
+    }
+    for (Stream &s : streams_) {
+        s.confirmed = r.b();
+        s.direction = int(r.i64());
+        s.strikes = r.u32();
+        s.prefetchHead = r.u64();
+    }
+    for (Addr &last : lastLines_)
+        last = r.u64();
+    for (std::uint64_t &seq : lruSeqs_)
+        seq = r.u64();
+    validMask_ = r.u64();
+    lruCounter_ = r.u64();
+    r.endSection();
 }
 
 } // namespace ovl

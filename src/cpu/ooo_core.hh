@@ -106,6 +106,15 @@ class OooCore : public SimObject
 
     std::uint64_t totalInstructions() const { return instructions_.value(); }
 
+    /**
+     * Snapshot the pipeline state (window occupancy, issue cursor,
+     * epoch accounting) and the core's stats. The System reference is
+     * structural; the restored core must be bound to the restored
+     * System.
+     */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
+
   private:
     /** Reserve a window slot; returns the earliest issue cycle. */
     Tick reserveSlot(Tick ready);

@@ -5,6 +5,7 @@
 #include "common/intmath.hh"
 #include "common/debug.hh"
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 #include "sim/trace.hh"
 
 namespace ovl
@@ -179,6 +180,66 @@ DramController::resetTiming()
     drainWrites(drainBusyUntil_);
     drainBusyUntil_ = 0;
     dram_.resetTiming();
+}
+
+void
+DramModel::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("DRAM");
+    w.u64(banks_.size());
+    for (const Bank &bank : banks_) {
+        w.u64(bank.openRow);
+        w.u64(bank.readyAt);
+        w.u64(bank.activatedAt);
+    }
+    w.u64(busReadyAt_);
+    w.endSection();
+}
+
+void
+DramModel::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("DRAM");
+    std::uint64_t n = r.u64();
+    if (n != banks_.size()) {
+        r.fail("DRAM bank count mismatch: snapshot " + std::to_string(n) +
+               ", configured " + std::to_string(banks_.size()));
+    }
+    for (Bank &bank : banks_) {
+        bank.openRow = r.u64();
+        bank.readyAt = r.u64();
+        bank.activatedAt = r.u64();
+    }
+    busReadyAt_ = r.u64();
+    r.endSection();
+}
+
+void
+DramController::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("DCTL");
+    w.u64(writeBuffer_.size());
+    for (Addr addr : writeBuffer_)
+        w.u64(addr);
+    w.u64(drainBusyUntil_);
+    dram_.serialize(w);
+    w.endSection();
+}
+
+void
+DramController::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("DCTL");
+    std::uint64_t n = r.count(8);
+    if (n > writeBufferEntries_)
+        r.fail("write buffer holds more entries than configured");
+    writeBuffer_.clear();
+    writeBuffer_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        writeBuffer_.push_back(r.u64());
+    drainBusyUntil_ = r.u64();
+    dram_.deserialize(r);
+    r.endSection();
 }
 
 } // namespace ovl

@@ -97,6 +97,10 @@ class DramModel : public SimObject
     std::uint64_t rowClosed() const { return rowClosed_.value(); }
     std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
 
+    /** Snapshot bank open-row/timing state and the bus cursor. */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
+
   private:
     struct Bank
     {
@@ -147,6 +151,10 @@ class DramController : public SimObject
 
     unsigned writeBufferOccupancy() const { return unsigned(writeBuffer_.size()); }
     std::uint64_t drains() const { return drains_.value(); }
+
+    /** Snapshot the write buffer, drain state and the DRAM model. */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
 
   private:
     DramModel dram_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ovl
 {
@@ -168,6 +169,67 @@ std::size_t
 OmsAllocator::freeCount(SegClass cls) const
 {
     return counts_[unsigned(cls)];
+}
+
+void
+OmsAllocator::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("OMS ");
+    w.u64(pages_.size());
+    for (const PageMeta &pm : pages_) {
+        w.u64(pm.base);
+        for (std::uint32_t nxt : pm.next)
+            w.u32(nxt);
+        for (std::uint32_t prv : pm.prev)
+            w.u32(prv);
+        w.blob(pm.freeCls.data(), pm.freeCls.size());
+    }
+    for (std::uint32_t head : heads_)
+        w.u32(head);
+    for (std::size_t cnt : counts_)
+        w.u64(cnt);
+    w.endSection();
+}
+
+void
+OmsAllocator::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("OMS ");
+    std::uint64_t num_pages =
+        r.count(8 + kUnitsPerPage * 4 * 2 + kUnitsPerPage);
+    pages_.clear();
+    pages_.reserve(num_pages);
+    pageIndex_.clear();
+    lastPageBase_ = kInvalidAddr;
+    lastPageIdx_ = 0;
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+        pages_.emplace_back();
+        PageMeta &pm = pages_.back();
+        pm.base = r.u64();
+        if (pageOffset(pm.base) != 0)
+            r.fail("OMS page base not page-aligned");
+        for (std::uint32_t &nxt : pm.next)
+            nxt = r.u32();
+        for (std::uint32_t &prv : pm.prev)
+            prv = r.u32();
+        r.blob(pm.freeCls.data(), pm.freeCls.size());
+        for (std::int8_t cls : pm.freeCls) {
+            if (cls != kNotFree &&
+                (cls < 0 || cls >= std::int8_t(kNumSegClasses))) {
+                r.fail("OMS unit free-class out of range");
+            }
+        }
+        if (!pageIndex_.emplace(pm.base, std::uint32_t(i)).second)
+            r.fail("duplicate OMS page base in snapshot");
+    }
+    for (std::uint32_t &head : heads_) {
+        head = r.u32();
+        if (head != kNullRef && (head >> 4) >= pages_.size())
+            r.fail("OMS free-list head out of page bounds");
+    }
+    for (std::size_t &cnt : counts_)
+        cnt = std::size_t(r.u64());
+    r.endSection();
 }
 
 } // namespace ovl

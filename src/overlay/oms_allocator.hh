@@ -75,6 +75,14 @@ class OmsAllocator : public SimObject
     /** Memory accesses implied by free-list manipulation since creation. */
     std::uint64_t listTouches() const { return listTouches_.value(); }
 
+    /**
+     * Snapshot page metadata and free lists. pageIndex_ is rebuilt from
+     * pages_ on restore; the MRU page cache is reset. The OS allocation
+     * hook is structural and not serialized.
+     */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
+
   private:
     /** 256 B units per OS page: the finest segment granularity. */
     static constexpr unsigned kUnitsPerPage = kPageSize / 256;

@@ -112,6 +112,15 @@ class Omt : public SimObject
     /** Memory footprint of all allocated table nodes, in bytes. */
     std::uint64_t nodeBytes() const { return nodeBytes_.value(); }
 
+    /**
+     * Snapshot the full table: chunk directory, entry arena (preserving
+     * arena indices — chunk slots reference them), free list, and the
+     * radix-node map. The node allocator is structural and not
+     * serialized; the MRU caches are reset on restore.
+     */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
+
     /** Visit every live entry as fn(opn, entry), in ascending OPN order. */
     template <typename Fn>
     void
@@ -314,6 +323,10 @@ class OmtCache : public SimObject
 
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
+
+    /** Snapshot tags, modified bits and recency state. */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
 
   private:
     struct Way

@@ -134,6 +134,15 @@ class OverlayManager : public SimObject
 
     std::uint64_t migrations() const { return migrations_.value(); }
 
+    /**
+     * Snapshot the whole engine: OMT + OMT cache + allocator, the
+     * functional page-data store (slot-for-slot, since OmtEntry::
+     * pageDataIdx references store positions), the free-page list and
+     * the OMS byte accounting.
+     */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
+
   private:
     /**
      * Ensure @p line_in_page of @p opn has an OMS slot, allocating or

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Binary snapshot serialization for the full simulated machine state.
+ *
+ * One Writer/Reader pair serves two consumers (DESIGN.md §11):
+ *
+ *  1. `System::clone()` — serialize to a memory buffer and deserialize
+ *     into a freshly constructed System. This is the warm-start fast
+ *     path the sweep benches use to fan rows out of a shared setup
+ *     prefix.
+ *  2. The on-disk checkpoint format behind `overlaysim checkpoint` /
+ *     `restore` — the same byte stream wrapped in a versioned file
+ *     header (magic + version + per-section length framing).
+ *
+ * The format is deliberately dumb: little-endian fixed-width integers,
+ * length-prefixed blobs, and tagged length-framed sections. Every read
+ * is bounds-checked against both the buffer and the innermost open
+ * section; any violation throws SnapshotError instead of invoking UB,
+ * so truncated or mangled files fail with a diagnostic, never a crash.
+ */
+
+#ifndef OVERLAYSIM_SIM_SNAPSHOT_HH
+#define OVERLAYSIM_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ovl::snapshot
+{
+
+/** Thrown on any malformed, truncated or version-mismatched snapshot. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** First 8 bytes of every on-disk snapshot file ("OVLSNAP\n"). */
+constexpr std::uint64_t kFileMagic = 0x0A50414E534C564Full;
+
+/** Bump on any incompatible change to the serialized layout. */
+constexpr std::uint32_t kFormatVersion = 1;
+
+/**
+ * Append-only byte-stream writer. Sections open with a 4-char tag and a
+ * length placeholder that endSection() patches, so readers can verify
+ * per-section framing without understanding the payload.
+ */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(std::uint8_t(v));
+        u8(std::uint8_t(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(std::uint16_t(v));
+        u16(std::uint16_t(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(std::uint32_t(v));
+        u32(std::uint32_t(v >> 32));
+    }
+
+    void i64(std::int64_t v) { u64(std::uint64_t(v)); }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        blob(s.data(), s.size());
+    }
+
+    void
+    blob(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        buf_.insert(buf_.end(), p, p + len);
+    }
+
+    /** Open a length-framed section tagged with 4 ASCII chars. */
+    void
+    beginSection(const char tag[4])
+    {
+        blob(tag, 4);
+        sectionStack_.push_back(buf_.size());
+        u64(0); // length placeholder, patched by endSection()
+    }
+
+    void
+    endSection()
+    {
+        std::size_t at = sectionStack_.back();
+        sectionStack_.pop_back();
+        std::uint64_t len = buf_.size() - at - 8;
+        for (unsigned i = 0; i < 8; ++i)
+            buf_[at + i] = std::uint8_t(len >> (8 * i));
+    }
+
+    const std::vector<std::uint8_t> &buffer() const { return buf_; }
+    std::vector<std::uint8_t> takeBuffer() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::vector<std::size_t> sectionStack_;
+};
+
+/**
+ * Bounds-checked reader over a snapshot byte stream. Does not own the
+ * buffer; the caller keeps it alive for the Reader's lifetime.
+ */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Reader(const std::vector<std::uint8_t> &buf)
+        : Reader(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    bool
+    b()
+    {
+        std::uint8_t v = u8();
+        if (v > 1)
+            fail("boolean field holds " + std::to_string(v));
+        return v != 0;
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t lo = u8();
+        return std::uint16_t(lo | (std::uint16_t(u8()) << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t lo = u16();
+        return lo | (std::uint32_t(u16()) << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32();
+        return lo | (std::uint64_t(u32()) << 32);
+    }
+
+    std::int64_t i64() { return std::int64_t(u64()); }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t len = u64();
+        need(len);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      std::size_t(len));
+        pos_ += std::size_t(len);
+        return s;
+    }
+
+    void
+    blob(void *out, std::size_t len)
+    {
+        need(len);
+        std::memcpy(out, data_ + pos_, len);
+        pos_ += len;
+    }
+
+    /**
+     * A u64 that will be used as an element count: additionally bounded
+     * by the bytes remaining, assuming each element costs at least
+     * @p min_elem_bytes, so a mangled length field cannot trigger a
+     * multi-gigabyte allocation before the next read fails.
+     */
+    std::uint64_t
+    count(std::uint64_t min_elem_bytes = 1)
+    {
+        std::uint64_t n = u64();
+        std::uint64_t limit = remaining() / (min_elem_bytes ? min_elem_bytes
+                                                            : 1);
+        if (n > limit) {
+            fail("element count " + std::to_string(n) +
+                 " exceeds remaining payload");
+        }
+        return n;
+    }
+
+    /** Enter a section; the tag must match and the framing must fit. */
+    void
+    expectSection(const char tag[4])
+    {
+        char got[5] = {};
+        blob(got, 4);
+        if (std::memcmp(got, tag, 4) != 0) {
+            fail(std::string("expected section '") + std::string(tag, 4) +
+                 "', found '" + got + "'");
+        }
+        std::uint64_t len = u64();
+        if (len > remaining())
+            fail(std::string("section '") + std::string(tag, 4) +
+                 "' length " + std::to_string(len) + " overruns payload");
+        sectionEnds_.push_back(pos_ + std::size_t(len));
+    }
+
+    /** Leave a section; the payload must be consumed exactly. */
+    void
+    endSection()
+    {
+        std::size_t end = sectionEnds_.back();
+        sectionEnds_.pop_back();
+        if (pos_ != end) {
+            fail("section payload size mismatch (at " +
+                 std::to_string(pos_) + ", expected " +
+                 std::to_string(end) + ")");
+        }
+    }
+
+    std::size_t
+    remaining() const
+    {
+        std::size_t end = sectionEnds_.empty() ? size_
+                                               : sectionEnds_.back();
+        return end - pos_;
+    }
+
+    bool atEnd() const { return pos_ == size_; }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw SnapshotError("snapshot: " + what + " (offset " +
+                            std::to_string(pos_) + ")");
+    }
+
+  private:
+    void
+    need(std::uint64_t len) const
+    {
+        if (len > remaining())
+            fail("truncated: need " + std::to_string(len) + " bytes, " +
+                 std::to_string(remaining()) + " remain");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::vector<std::size_t> sectionEnds_;
+};
+
+/**
+ * On-disk envelope: magic + format version + payload length, then the
+ * Writer byte stream. readSnapshotFile validates all three before
+ * handing the payload back.
+ */
+void writeSnapshotFile(const std::string &path,
+                       const std::vector<std::uint8_t> &payload);
+
+/** Load + validate a snapshot file; throws SnapshotError on any issue. */
+std::vector<std::uint8_t> readSnapshotFile(const std::string &path);
+
+} // namespace ovl::snapshot
+
+#endif // OVERLAYSIM_SIM_SNAPSHOT_HH

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ovl::stats
 {
@@ -214,6 +215,86 @@ Group::resetStats()
 {
     for (Info *info : infos_)
         info->reset();
+}
+
+// --------------------------- serialization -----------------------------
+
+void
+Counter::serializeValue(snapshot::Writer &w) const
+{
+    w.u64(value_);
+}
+
+void
+Counter::deserializeValue(snapshot::Reader &r)
+{
+    value_ = r.u64();
+}
+
+void
+Gauge::serializeValue(snapshot::Writer &w) const
+{
+    w.i64(value_);
+}
+
+void
+Gauge::deserializeValue(snapshot::Reader &r)
+{
+    value_ = r.i64();
+}
+
+void
+Histogram::serializeValue(snapshot::Writer &w) const
+{
+    // Geometry (bucket width/count) is construction-time configuration,
+    // not state: only the populated values travel.
+    w.u64(buckets_.size());
+    for (std::uint64_t b : buckets_)
+        w.u64(b);
+    w.u64(overflow_);
+    w.u64(samples_);
+    w.u64(sum_);
+    w.u64(min_);
+    w.u64(max_);
+}
+
+void
+Histogram::deserializeValue(snapshot::Reader &r)
+{
+    std::uint64_t n = r.u64();
+    if (n != buckets_.size()) {
+        r.fail("histogram '" + name() + "' bucket count " +
+               std::to_string(n) + " != configured " +
+               std::to_string(buckets_.size()));
+    }
+    for (std::uint64_t &b : buckets_)
+        b = r.u64();
+    overflow_ = r.u64();
+    samples_ = r.u64();
+    sum_ = r.u64();
+    min_ = r.u64();
+    max_ = r.u64();
+}
+
+void
+Group::serializeStats(snapshot::Writer &w) const
+{
+    w.u64(infos_.size());
+    for (const Info *info : infos_)
+        info->serializeValue(w);
+}
+
+void
+Group::deserializeStats(snapshot::Reader &r)
+{
+    std::uint64_t n = r.u64();
+    if (n != infos_.size()) {
+        r.fail("stats group '" + name_ + "' has " +
+               std::to_string(infos_.size()) + " stats, snapshot holds " +
+               std::to_string(n));
+    }
+    for (Info *info : infos_)
+        info->deserializeValue(r);
 }
 
 } // namespace ovl::stats

@@ -14,6 +14,12 @@
 #include <string>
 #include <vector>
 
+namespace ovl::snapshot
+{
+class Writer;
+class Reader;
+} // namespace ovl::snapshot
+
 namespace ovl::stats
 {
 
@@ -54,6 +60,12 @@ class Info
     /** Reset to the zero state (counters to 0, histograms emptied). */
     virtual void reset() = 0;
 
+    /** Append the stat's value (not its identity) to a snapshot. */
+    virtual void serializeValue(snapshot::Writer &w) const = 0;
+
+    /** Restore a value written by serializeValue on an identical stat. */
+    virtual void deserializeValue(snapshot::Reader &r) = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -77,6 +89,8 @@ class Counter : public Info
     void dumpJsonValue(std::ostream &os) const override;
     void eachScalar(const ScalarVisitor &fn) const override;
     void reset() override { value_ = 0; }
+    void serializeValue(snapshot::Writer &w) const override;
+    void deserializeValue(snapshot::Reader &r) override;
 
   private:
     std::uint64_t value_ = 0;
@@ -101,6 +115,8 @@ class Gauge : public Info
     void dumpJsonValue(std::ostream &os) const override;
     void eachScalar(const ScalarVisitor &fn) const override;
     void reset() override { value_ = 0; }
+    void serializeValue(snapshot::Writer &w) const override;
+    void deserializeValue(snapshot::Reader &r) override;
 
   private:
     std::int64_t value_ = 0;
@@ -129,6 +145,8 @@ class Histogram : public Info
     void dumpJsonValue(std::ostream &os) const override;
     void eachScalar(const ScalarVisitor &fn) const override;
     void reset() override;
+    void serializeValue(snapshot::Writer &w) const override;
+    void deserializeValue(snapshot::Reader &r) override;
 
   private:
     std::uint64_t bucketWidth_;
@@ -156,6 +174,9 @@ class Formula : public Info
     void dumpJsonValue(std::ostream &os) const override;
     void eachScalar(const ScalarVisitor &fn) const override;
     void reset() override {}
+    // Formulas derive from other stats; they carry no state of their own.
+    void serializeValue(snapshot::Writer &) const override {}
+    void deserializeValue(snapshot::Reader &) override {}
 
   private:
     std::function<double()> fn_;
@@ -188,6 +209,17 @@ class Group
 
     /** Reset every registered stat. */
     void resetStats();
+
+    /**
+     * Serialize every registered stat's value, in registration order.
+     * Restoring requires an identically structured group (same stats,
+     * same order) — guaranteed when both sides are the same SimObject
+     * type built from the same configuration.
+     */
+    void serializeStats(snapshot::Writer &w) const;
+
+    /** Restore values written by serializeStats. */
+    void deserializeStats(snapshot::Reader &r);
 
   private:
     std::string name_;

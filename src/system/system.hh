@@ -291,6 +291,37 @@ class System : public SimObject
     std::uint64_t cowFaults() const { return cowFaults_.value(); }
     std::uint64_t overlayingWrites() const { return overlayingWrites_.value(); }
 
+    // ----- snapshot / clone (DESIGN.md §11) ------------------------------
+
+    /**
+     * Serialize the entire machine — memory contents, page tables,
+     * overlay engine, caches, TLBs, DRAM timing state, accounting and
+     * every component's statistics — into @p w. The attached stats
+     * sampler (if any) is not part of the snapshot. Non-const only
+     * because the stats traversal reuses forEachStatsGroup; no state is
+     * modified.
+     */
+    void serialize(snapshot::Writer &w);
+
+    /**
+     * Restore a snapshot into this freshly constructed System. The
+     * configuration must be structurally identical to the serialized
+     * machine's (memory capacity, cache/TLB/OMT-cache geometry, DRAM
+     * bank count, write-buffer depth, TLB count); mismatches throw
+     * snapshot::SnapshotError with a diagnostic. Policy fields (promote
+     * threshold, OS cost constants) may differ — that is what warm-start
+     * config sweeps rely on.
+     */
+    void deserialize(snapshot::Reader &r);
+
+    /**
+     * Deep copy via serialize + deserialize into a fresh System. The
+     * overload taking a config lets warm-start sweeps fan one simulated
+     * prefix out across rows that differ only in policy fields.
+     */
+    std::unique_ptr<System> clone() { return clone(config_); }
+    std::unique_ptr<System> clone(const SystemConfig &config);
+
   private:
     /** Overlay line address of (asid, vaddr)'s line. */
     static Addr

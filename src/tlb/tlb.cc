@@ -4,6 +4,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 #include "sim/trace.hh"
 
 namespace ovl
@@ -125,6 +126,75 @@ TwoLevelTlb::updateObvBit(Asid asid, Addr vpn, unsigned line_in_page,
     bool upper = l1_.updateObvBit(asid, vpn, line_in_page, value);
     bool lower = l2_.updateObvBit(asid, vpn, line_in_page, value);
     return upper || lower;
+}
+
+void
+Tlb::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("TLB ");
+    w.u64(keys_.size());
+    for (std::uint64_t key : keys_)
+        w.u64(key);
+    for (const Way &way : ways_) {
+        w.u64(way.data.ppn);
+        w.b(way.data.writable);
+        w.b(way.data.cow);
+        w.b(way.data.overlayEnabled);
+        w.b(way.data.metadataMode);
+        w.u64(way.data.obv.raw());
+        w.u64(way.lruSeq);
+    }
+    w.u64(lruCounter_);
+    w.u64(asidEntries_.size());
+    for (std::uint32_t n : asidEntries_)
+        w.u32(n);
+    w.endSection();
+}
+
+void
+Tlb::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("TLB ");
+    std::uint64_t n = r.u64();
+    if (n != keys_.size()) {
+        r.fail("TLB '" + name() + "' way count mismatch: snapshot " +
+               std::to_string(n) + ", configured " +
+               std::to_string(keys_.size()));
+    }
+    for (std::uint64_t &key : keys_)
+        key = r.u64();
+    for (Way &way : ways_) {
+        way.data.ppn = r.u64();
+        way.data.writable = r.b();
+        way.data.cow = r.b();
+        way.data.overlayEnabled = r.b();
+        way.data.metadataMode = r.b();
+        way.data.obv = BitVector64(r.u64());
+        way.lruSeq = r.u64();
+    }
+    lruCounter_ = r.u64();
+    asidEntries_.resize(r.count(4));
+    for (std::uint32_t &cnt : asidEntries_)
+        cnt = r.u32();
+    r.endSection();
+}
+
+void
+TwoLevelTlb::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("TLB2");
+    l1_.serialize(w);
+    l2_.serialize(w);
+    w.endSection();
+}
+
+void
+TwoLevelTlb::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("TLB2");
+    l1_.deserialize(r);
+    l2_.deserialize(r);
+    r.endSection();
 }
 
 } // namespace ovl

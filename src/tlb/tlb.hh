@@ -138,6 +138,10 @@ class Tlb : public SimObject
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
 
+    /** Snapshot keys, entry payloads, recency and per-ASID counts. */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
+
   private:
     /** Payload of one way; the (asid, vpn) tag lives in keys_. */
     struct Way
@@ -274,6 +278,10 @@ class TwoLevelTlb : public SimObject
     const TlbHierarchyParams &params() const { return params_; }
     Tlb &l1() { return l1_; }
     Tlb &l2() { return l2_; }
+
+    /** Snapshot both levels. */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
 
   private:
     TlbHierarchyParams params_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ovl
 {
@@ -93,6 +94,69 @@ PhysicalMemory::framePtr(Addr frame)
         slot->fill(0);
     }
     return slot.get();
+}
+
+void
+PhysicalMemory::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("PMEM");
+    w.u64(capacityBytes_);
+    w.u64(nextFrame_);
+    w.u64(framesInUse_);
+    w.u64(freeFrames_.size());
+    for (Addr f : freeFrames_)
+        w.u64(f);
+    w.u64(refCounts_.size());
+    for (unsigned rc : refCounts_)
+        w.u32(rc);
+    // Page contents: only materialized frames carry data; null slots
+    // read as zero and must stay null so memory accounting matches.
+    std::uint64_t materialized = 0;
+    for (const auto &slot : contents_)
+        if (slot)
+            ++materialized;
+    w.u64(materialized);
+    for (std::size_t f = 0; f < contents_.size(); ++f) {
+        if (contents_[f]) {
+            w.u64(f);
+            w.blob(contents_[f]->data(), kPageSize);
+        }
+    }
+    w.endSection();
+}
+
+void
+PhysicalMemory::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("PMEM");
+    std::uint64_t capacity = r.u64();
+    if (capacity != capacityBytes_) {
+        r.fail("physical memory capacity mismatch: snapshot " +
+               std::to_string(capacity) + ", system " +
+               std::to_string(capacityBytes_));
+    }
+    nextFrame_ = r.u64();
+    framesInUse_ = r.u64();
+    freeFrames_.resize(r.count(8));
+    for (Addr &f : freeFrames_)
+        f = r.u64();
+    std::uint64_t num_frames = r.count(4);
+    refCounts_.assign(num_frames, 0);
+    for (unsigned &rc : refCounts_)
+        rc = r.u32();
+    contents_.clear();
+    contents_.resize(num_frames);
+    pagePool_.clear();
+    std::uint64_t materialized = r.count(8 + kPageSize);
+    for (std::uint64_t i = 0; i < materialized; ++i) {
+        std::uint64_t f = r.u64();
+        if (f >= contents_.size())
+            r.fail("materialized frame " + std::to_string(f) +
+                   " out of range");
+        contents_[f] = std::make_unique<PageData>();
+        r.blob(contents_[f]->data(), kPageSize);
+    }
+    r.endSection();
 }
 
 void

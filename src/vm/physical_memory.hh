@@ -73,6 +73,15 @@ class PhysicalMemory : public SimObject
     /** Copy a whole frame's contents. */
     void copyFrame(Addr dst_frame, Addr src_frame);
 
+    /**
+     * Snapshot the allocator and all materialized page contents. The
+     * page pool (recycled buffers) is host-side malloc avoidance, not
+     * simulated state, and is not serialized: recycled frames are
+     * zero-filled on reuse either way.
+     */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
+
   private:
     PageData *framePtr(Addr frame);
     const PageData *framePtrConst(Addr frame) const;

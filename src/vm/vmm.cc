@@ -133,6 +133,36 @@ Vmm::breakCow(Asid asid, Addr vpn, bool *copied)
 }
 
 void
+Vmm::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("VMM ");
+    w.u64(processes_.size());
+    for (const auto &proc : processes_) {
+        w.u16(proc->asid);
+        proc->pageTable.serialize(w);
+    }
+    w.endSection();
+}
+
+void
+Vmm::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("VMM ");
+    std::uint64_t n = r.count(2);
+    processes_.clear();
+    processes_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        auto proc = std::make_unique<Process>();
+        proc->asid = r.u16();
+        if (proc->asid != i)
+            r.fail("process table ASIDs are not dense");
+        proc->pageTable.deserialize(r);
+        processes_.push_back(std::move(proc));
+    }
+    r.endSection();
+}
+
+void
 Vmm::protect(Asid asid, Addr vaddr, std::uint64_t len, bool writable)
 {
     ovl_assert(pageOffset(vaddr) == 0 && len % kPageSize == 0,

@@ -46,6 +46,9 @@ class Vmm : public SimObject
     /** Create an empty process; returns its ASID. */
     Asid createProcess();
 
+    /** Live processes (ASIDs are dense: 0 .. processCount()-1). */
+    std::size_t processCount() const { return processes_.size(); }
+
     // Inline: resolve()/process() run on every functional load and store.
     Process &
     process(Asid asid)
@@ -113,6 +116,10 @@ class Vmm : public SimObject
 
     std::uint64_t forks() const { return forks_.value(); }
     std::uint64_t cowBreaks() const { return cowBreaks_.value(); }
+
+    /** Snapshot the process table (ASIDs + page tables). */
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
 
   private:
     PhysicalMemory &physMem_;

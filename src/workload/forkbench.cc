@@ -1,11 +1,13 @@
 #include "forkbench.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "cpu/ooo_core.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats_sampler.hh"
 #include "system/system.hh"
 
@@ -141,55 +143,154 @@ namespace
 {
 
 /**
- * Emit @p num_instructions of the benchmark's steady-state mix. The read
- * stream mimics SPEC-class locality: most accesses re-touch recently
- * used lines (L1 hits), a share streams sequentially through the
- * footprint (prefetch-friendly), and a tail jumps randomly within the
- * hot set — overall miss rates in the few-percent range rather than the
- * cache-hostile uniform-random extreme.
+ * The complete between-iteration state of the steady-state generator
+ * loop, lifted out of streamPhaseGenResumable's locals so a checkpoint
+ * can capture it mid-phase and a restore can continue the loop with the
+ * exact remaining op stream (same RNG draws, same order).
+ */
+struct StreamPhaseState
+{
+    /** Recent-reuse window (the register/stack/L1-resident share). */
+    static constexpr std::uint32_t kRecent = 64;
+
+    std::uint64_t budget = 0; ///< instructions left in the phase
+    WriteSchedule schedule;
+    bool hasSchedule = false;
+    std::vector<Addr> rewritePool; ///< lines already written (re-writes)
+    std::uint32_t burstRemaining = 0; ///< clustered-pattern page burst
+    std::array<Addr, kRecent> recent{};
+    std::uint32_t recentCount = 0;
+    std::uint32_t recentHead = 0;
+    Addr streamLine = 0; ///< sequential stream cursor (line index)
+    /**
+     * Fresh-write pacing so the schedule spans the whole epoch (a SPEC
+     * process dirties pages steadily, not in an initial burst). Fixed at
+     * phase start from the full schedule size.
+     */
+    double freshFraction = 1.0;
+
+    void serialize(snapshot::Writer &w) const;
+    void deserialize(snapshot::Reader &r);
+};
+
+void
+StreamPhaseState::serialize(snapshot::Writer &w) const
+{
+    w.beginSection("PHST");
+    w.u64(budget);
+    w.b(hasSchedule);
+    if (hasSchedule) {
+        w.u64(schedule.addrs.size());
+        for (Addr a : schedule.addrs)
+            w.u64(a);
+        w.u64(schedule.next);
+    }
+    w.u64(rewritePool.size());
+    for (Addr a : rewritePool)
+        w.u64(a);
+    w.u32(burstRemaining);
+    for (Addr a : recent)
+        w.u64(a);
+    w.u32(recentCount);
+    w.u32(recentHead);
+    w.u64(streamLine);
+    w.f64(freshFraction);
+    w.endSection();
+}
+
+void
+StreamPhaseState::deserialize(snapshot::Reader &r)
+{
+    r.expectSection("PHST");
+    budget = r.u64();
+    hasSchedule = r.b();
+    schedule = WriteSchedule{};
+    if (hasSchedule) {
+        std::uint64_t n = r.count(8);
+        schedule.addrs.resize(std::size_t(n));
+        for (Addr &a : schedule.addrs)
+            a = r.u64();
+        std::uint64_t next = r.u64();
+        if (next > schedule.addrs.size()) {
+            r.fail("write-schedule cursor " + std::to_string(next) +
+                   " past its " + std::to_string(schedule.addrs.size()) +
+                   " entries");
+        }
+        schedule.next = std::size_t(next);
+    }
+    std::uint64_t pool = r.count(8);
+    rewritePool.resize(std::size_t(pool));
+    for (Addr &a : rewritePool)
+        a = r.u64();
+    burstRemaining = r.u32();
+    for (Addr &a : recent)
+        a = r.u64();
+    recentCount = r.u32();
+    recentHead = r.u32();
+    if (recentCount > kRecent || recentHead >= kRecent) {
+        r.fail("recent-window cursor out of range (count " +
+               std::to_string(recentCount) + ", head " +
+               std::to_string(recentHead) + ")");
+    }
+    streamLine = r.u64();
+    freshFraction = r.f64();
+    r.endSection();
+}
+
+/** Phase-start state: full budget, cursors at zero, pacing computed. */
+StreamPhaseState
+makePhaseState(const ForkBenchParams &p, std::uint64_t num_instructions,
+               WriteSchedule schedule, bool has_schedule)
+{
+    StreamPhaseState st;
+    st.budget = num_instructions;
+    st.schedule = std::move(schedule);
+    st.hasSchedule = has_schedule;
+    if (has_schedule) {
+        double expected_writes = double(num_instructions) *
+                                 p.memOpFraction * p.writeFraction;
+        st.freshFraction = expected_writes > 0
+                               ? double(st.schedule.addrs.size()) /
+                                     expected_writes
+                               : 1.0;
+        st.freshFraction = std::min(1.0, st.freshFraction);
+    }
+    return st;
+}
+
+/**
+ * Emit the benchmark's steady-state mix until @p st.budget runs out. The
+ * read stream mimics SPEC-class locality: most accesses re-touch
+ * recently used lines (L1 hits), a share streams sequentially through
+ * the footprint (prefetch-friendly), and a tail jumps randomly within
+ * the hot set — overall miss rates in the few-percent range rather than
+ * the cache-hostile uniform-random extreme.
  *
  * The generator is a template over the execution sink so the same
  * op stream (same RNG draws, same order) can drive the detailed core or
  * a sampled-simulation sink that switches between detailed execution and
  * functional fast-forward per window (DESIGN.md §10).
+ *
+ * @p stop is polled between loop iterations (checkpoint boundaries):
+ * returning true suspends the phase with @p st and the RNG holding
+ * exactly the state a later call needs to continue the identical stream.
  */
-template <typename Exec>
+template <typename Exec, typename Stop>
 void
-streamPhaseGen(Exec &&execute, const ForkBenchParams &p, Rng &rng,
-               std::uint64_t num_instructions, WriteSchedule *schedule)
+streamPhaseGenResumable(Exec &&execute, const ForkBenchParams &p, Rng &rng,
+                        StreamPhaseState &st, Stop &&stop)
 {
-    std::uint64_t budget = num_instructions;
-    std::vector<Addr> rewrite_pool; // lines already written (for re-writes)
-    unsigned burst_remaining = 0;   // clustered-pattern page burst
-
-    // Recent-reuse window (the register/stack/L1-resident share).
-    constexpr std::size_t kRecent = 64;
-    Addr recent[kRecent];
-    std::size_t recent_count = 0, recent_head = 0;
+    WriteSchedule *schedule = st.hasSchedule ? &st.schedule : nullptr;
     auto touch = [&](Addr a) {
-        recent[recent_head] = a;
-        recent_head = (recent_head + 1) % kRecent;
-        recent_count = std::min(recent_count + 1, kRecent);
+        st.recent[st.recentHead] = a;
+        st.recentHead = (st.recentHead + 1) % StreamPhaseState::kRecent;
+        st.recentCount = std::min<std::uint32_t>(st.recentCount + 1,
+                                                 StreamPhaseState::kRecent);
     };
 
-    // Sequential stream cursor through the footprint.
-    Addr stream_line = 0;
     Addr footprint_lines = p.footprintPages * kLinesPerPage;
 
-    // Pace fresh-line writes so the schedule spans the whole epoch (a
-    // SPEC process dirties pages steadily, not in an initial burst).
-    double fresh_fraction = 1.0;
-    if (schedule != nullptr) {
-        double expected_writes = double(num_instructions) *
-                                 p.memOpFraction * p.writeFraction;
-        fresh_fraction = expected_writes > 0
-                             ? double(schedule->addrs.size()) /
-                                   expected_writes
-                             : 1.0;
-        fresh_fraction = std::min(1.0, fresh_fraction);
-    }
-
-    while (budget > 0) {
+    while (st.budget > 0) {
         // Non-memory instructions between memory ops.
         double per_mem = 1.0 / p.memOpFraction - 1.0;
         std::uint32_t compute = std::uint32_t(per_mem);
@@ -197,9 +298,9 @@ streamPhaseGen(Exec &&execute, const ForkBenchParams &p, Rng &rng,
             ++compute;
         if (compute > 0) {
             execute(TraceOp::compute(compute));
-            budget -= std::min<std::uint64_t>(budget, compute);
+            st.budget -= std::min<std::uint64_t>(st.budget, compute);
         }
-        if (budget == 0)
+        if (st.budget == 0)
             break;
 
         bool is_write = rng.chance(p.writeFraction);
@@ -209,38 +310,39 @@ streamPhaseGen(Exec &&execute, const ForkBenchParams &p, Rng &rng,
             if (p.pattern == WritePattern::Clustered) {
                 // Whole-page bursts: once a page's rewrite starts, its
                 // lines are written back to back ("close in time").
-                if (burst_remaining == 0 && !schedule->exhausted() &&
-                    (rewrite_pool.empty() ||
-                     rng.chance(fresh_fraction / p.linesPerDirtyPage))) {
-                    burst_remaining = p.linesPerDirtyPage;
+                if (st.burstRemaining == 0 && !schedule->exhausted() &&
+                    (st.rewritePool.empty() ||
+                     rng.chance(st.freshFraction / p.linesPerDirtyPage))) {
+                    st.burstRemaining = p.linesPerDirtyPage;
                 }
-                take_fresh = burst_remaining > 0 && !schedule->exhausted();
+                take_fresh = st.burstRemaining > 0 &&
+                             !schedule->exhausted();
                 if (take_fresh)
-                    --burst_remaining;
+                    --st.burstRemaining;
             } else {
                 take_fresh = !schedule->exhausted() &&
-                             (rewrite_pool.empty() ||
-                              rng.chance(fresh_fraction));
+                             (st.rewritePool.empty() ||
+                              rng.chance(st.freshFraction));
             }
             if (take_fresh) {
                 addr = schedule->take();
-                rewrite_pool.push_back(addr);
+                st.rewritePool.push_back(addr);
                 if (p.readModifyWrite) {
                     // Real update streams read the data they modify
                     // (read-modify-write); the load brings the line into
                     // the cache in both mechanisms' worlds.
                     execute(TraceOp::load(addr));
-                    if (budget > 1)
-                        --budget;
+                    if (st.budget > 1)
+                        --st.budget;
                 }
-            } else if (!rewrite_pool.empty()) {
+            } else if (!st.rewritePool.empty()) {
                 // Re-writes favour recently dirtied lines (temporal
                 // locality of real write streams).
                 std::size_t window = std::min<std::size_t>(
-                    rewrite_pool.size(), 512);
-                std::size_t idx = rewrite_pool.size() - 1 -
+                    st.rewritePool.size(), 512);
+                std::size_t idx = st.rewritePool.size() - 1 -
                                   rng.below(window);
-                addr = rewrite_pool[idx];
+                addr = st.rewritePool[idx];
             } else {
                 addr = kHeapBase; // degenerate tiny schedule
             }
@@ -256,13 +358,13 @@ streamPhaseGen(Exec &&execute, const ForkBenchParams &p, Rng &rng,
         } else {
             Addr addr;
             double dice = rng.uniform();
-            if (dice < p.recentReadShare && recent_count > 0) {
+            if (dice < p.recentReadShare && st.recentCount > 0) {
                 // Re-use a recently touched line: an L1 hit.
-                addr = recent[rng.below(recent_count)];
+                addr = st.recent[rng.below(st.recentCount)];
             } else if (dice < p.recentReadShare + p.streamReadShare) {
                 // Sequential streaming through the footprint.
-                stream_line = (stream_line + 1) % footprint_lines;
-                addr = kHeapBase + stream_line * kLineSize;
+                st.streamLine = (st.streamLine + 1) % footprint_lines;
+                addr = kHeapBase + st.streamLine * kLineSize;
             } else {
                 // Random within the hot set.
                 std::uint64_t page = rng.below(p.hotPages);
@@ -272,8 +374,26 @@ streamPhaseGen(Exec &&execute, const ForkBenchParams &p, Rng &rng,
             execute(TraceOp::load(addr));
             touch(addr);
         }
-        --budget;
+        --st.budget;
+        if (st.budget > 0 && stop())
+            return;
     }
+}
+
+/** Run a whole phase in one go (the non-checkpointing callers). */
+template <typename Exec>
+void
+streamPhaseGen(Exec &&execute, const ForkBenchParams &p, Rng &rng,
+               std::uint64_t num_instructions, WriteSchedule *schedule)
+{
+    StreamPhaseState st = makePhaseState(
+        p, num_instructions,
+        schedule != nullptr ? std::move(*schedule) : WriteSchedule{},
+        schedule != nullptr);
+    streamPhaseGenResumable(std::forward<Exec>(execute), p, rng, st,
+                            [] { return false; });
+    if (schedule != nullptr)
+        *schedule = std::move(st.schedule);
 }
 
 /** The classic detailed-only phase: every op goes through the core. */
@@ -628,6 +748,261 @@ runForkBenchSampled(const ForkBenchParams &params, ForkMode mode,
             ? 100.0 * std::abs(out.sampled.cpi - out.fullCpi) / out.fullCpi
             : 0.0;
     return out;
+}
+
+namespace
+{
+
+/** The shared measurement tail of every full-detail run variant. */
+ForkBenchResult
+measureResult(System &system, OooCore &core, const ForkBenchParams &params,
+              ForkMode mode, Tick fork_latency)
+{
+    ForkBenchResult res;
+    res.name = params.name;
+    res.type = params.type;
+    res.mode = mode;
+    res.additionalMemoryMB =
+        double(system.additionalMemoryBytes()) / double(1_MiB);
+    res.cpi = core.epochCpi();
+    res.cowFaults = system.cowFaults();
+    res.overlayingWrites = system.overlayingWrites();
+    res.forkLatency = fork_latency;
+    return res;
+}
+
+} // namespace
+
+ForkBenchWarmState
+prepareForkBenchWarmState(const ForkBenchParams &params, SystemConfig config)
+{
+    config.name = params.name;
+
+    System system(config);
+    OooCore core(params.name + ".core", system);
+    Rng rng(params.seed);
+
+    Asid parent = system.createProcess();
+    system.mapAnon(parent, kHeapBase, params.footprintPages * kPageSize);
+
+    core.beginEpoch(0);
+    streamPhase(core, parent, params, rng, params.warmupInstructions,
+                nullptr);
+
+    ForkBenchWarmState warm;
+    warm.params = params;
+    warm.config = config;
+    warm.warmupEnd = core.finishEpoch();
+    warm.parent = parent;
+
+    snapshot::Writer w;
+    w.beginSection("WARM");
+    system.serialize(w);
+    core.serialize(w);
+    for (std::uint64_t v : rng.rawState())
+        w.u64(v);
+    w.endSection();
+    warm.machine = w.takeBuffer();
+    return warm;
+}
+
+ForkBenchResult
+runForkBenchFromWarmState(const ForkBenchWarmState &warm, ForkMode mode,
+                          const SystemConfig *config_override,
+                          std::ostream *dump_stats,
+                          std::vector<TraceOp> *record)
+{
+    const ForkBenchParams &params = warm.params;
+    SystemConfig config = config_override != nullptr ? *config_override
+                                                     : warm.config;
+    config.name = params.name;
+
+    System system(config);
+    OooCore core(params.name + ".core", system);
+    Rng rng(params.seed);
+
+    snapshot::Reader r(warm.machine);
+    r.expectSection("WARM");
+    system.deserialize(r);
+    core.deserialize(r);
+    std::array<std::uint64_t, 4> raw;
+    for (std::uint64_t &v : raw)
+        v = r.u64();
+    rng.setRawState(raw);
+    r.endSection();
+    if (!r.atEnd())
+        r.fail("trailing bytes after warm-state payload");
+
+    // From here on the run is instruction-for-instruction the tail of
+    // runForkBench: fork, rebase the stats, measure the post-fork epoch.
+    Asid parent = warm.parent;
+    Tick t = warm.warmupEnd;
+    Tick fork_done = t;
+    system.fork(parent, mode, t, &fork_done);
+    system.markMemoryBaseline();
+    system.resetStats();
+
+    WriteSchedule schedule = buildSchedule(params, rng);
+    core.beginEpoch(fork_done);
+    streamPhase(core, parent, params, rng, params.postForkInstructions,
+                &schedule, record);
+    Tick end = core.finishEpoch();
+    system.caches().flushAll(end);
+
+    ForkBenchResult res =
+        measureResult(system, core, params, mode, fork_done - t);
+    if (dump_stats != nullptr) {
+        system.dumpAllStats(*dump_stats);
+        core.dumpStats(*dump_stats);
+    }
+    return res;
+}
+
+std::optional<ForkBenchResult>
+runForkBenchCheckpointed(const ForkBenchParams &params, ForkMode mode,
+                         SystemConfig config,
+                         const ForkBenchCheckpointOptions &ckpt)
+{
+    ovl_assert(!ckpt.path.empty(), "checkpointing needs an output path");
+    ovl_assert(ckpt.everyTicks != 0 || ckpt.atTick != 0,
+               "checkpointing needs --checkpoint-every or --at-tick");
+
+    config.name = params.name;
+    System system(config);
+    OooCore core(params.name + ".core", system);
+    Rng rng(params.seed);
+
+    Asid parent = system.createProcess();
+    system.mapAnon(parent, kHeapBase, params.footprintPages * kPageSize);
+
+    core.beginEpoch(0);
+    streamPhase(core, parent, params, rng, params.warmupInstructions,
+                nullptr);
+    Tick t = core.finishEpoch();
+    Tick fork_done = t;
+    system.fork(parent, mode, t, &fork_done);
+    system.markMemoryBaseline();
+    system.resetStats();
+
+    WriteSchedule schedule = buildSchedule(params, rng);
+    StreamPhaseState st = makePhaseState(
+        params, params.postForkInstructions, std::move(schedule), true);
+    core.beginEpoch(fork_done);
+
+    // Serializing observes the machine without touching it, so the
+    // executed run is op-for-op the uninterrupted run.
+    auto write_checkpoint = [&]() {
+        snapshot::Writer w;
+        w.beginSection("FKCP");
+        w.str(params.name);
+        w.u8(mode == ForkMode::CopyOnWrite ? 0 : 1);
+        w.u64(params.postForkInstructions);
+        w.u16(parent);
+        w.u64(t);
+        w.u64(fork_done);
+        st.serialize(w);
+        for (std::uint64_t v : rng.rawState())
+            w.u64(v);
+        core.serialize(w);
+        system.serialize(w);
+        w.endSection();
+        snapshot::writeSnapshotFile(ckpt.path, w.buffer());
+    };
+
+    Tick next_periodic =
+        ckpt.everyTicks != 0 ? fork_done + ckpt.everyTicks : 0;
+    bool stopped = false;
+    auto stop = [&]() -> bool {
+        Tick now = core.currentCycle();
+        if (ckpt.everyTicks != 0 && now >= next_periodic) {
+            write_checkpoint();
+            while (next_periodic <= now)
+                next_periodic += ckpt.everyTicks;
+        }
+        if (ckpt.atTick != 0 && now >= ckpt.atTick) {
+            write_checkpoint();
+            stopped = true;
+            return true;
+        }
+        return false;
+    };
+
+    streamPhaseGenResumable(
+        [&](const TraceOp &op) { core.executeOp(parent, op); }, params,
+        rng, st, stop);
+    if (stopped)
+        return std::nullopt;
+
+    Tick end = core.finishEpoch();
+    system.caches().flushAll(end);
+    return measureResult(system, core, params, mode, fork_done - t);
+}
+
+ForkBenchResult
+resumeForkBenchCheckpoint(const std::string &path)
+{
+    std::vector<std::uint8_t> payload = snapshot::readSnapshotFile(path);
+    snapshot::Reader r(payload);
+    r.expectSection("FKCP");
+
+    std::string name = r.str();
+    ForkBenchParams params;
+    bool known = false;
+    for (const ForkBenchParams &p : forkBenchSuite()) {
+        if (p.name == name) {
+            params = p;
+            known = true;
+            break;
+        }
+    }
+    if (!known)
+        r.fail("checkpoint names unknown benchmark '" + name + "'");
+
+    std::uint8_t mode_raw = r.u8();
+    if (mode_raw > 1)
+        r.fail("invalid fork mode " + std::to_string(mode_raw));
+    ForkMode mode = mode_raw == 0 ? ForkMode::CopyOnWrite
+                                  : ForkMode::OverlayOnWrite;
+    params.postForkInstructions = r.u64();
+    Asid parent = r.u16();
+    Tick t = r.u64();
+    Tick fork_done = r.u64();
+
+    StreamPhaseState st;
+    st.deserialize(r);
+    std::array<std::uint64_t, 4> raw;
+    for (std::uint64_t &v : raw)
+        v = r.u64();
+
+    // `overlaysim forkbench` runs the default machine configuration;
+    // structural mismatches between it and the checkpointed machine are
+    // caught by the per-component deserialize checks below.
+    SystemConfig config;
+    config.name = params.name;
+    System system(config);
+    OooCore core(params.name + ".core", system);
+    core.deserialize(r);
+    system.deserialize(r);
+    r.endSection();
+    if (!r.atEnd())
+        r.fail("trailing bytes after checkpoint payload");
+    if (parent >= system.vmm().processCount()) {
+        r.fail("checkpoint parent ASID " + std::to_string(parent) +
+               " not among the " +
+               std::to_string(system.vmm().processCount()) +
+               " restored processes");
+    }
+
+    Rng rng(params.seed);
+    rng.setRawState(raw);
+
+    streamPhaseGenResumable(
+        [&](const TraceOp &op) { core.executeOp(parent, op); }, params,
+        rng, st, [] { return false; });
+
+    Tick end = core.finishEpoch();
+    system.caches().flushAll(end);
+    return measureResult(system, core, params, mode, fork_done - t);
 }
 
 } // namespace ovl

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -201,6 +202,91 @@ ForkBenchSampledResult runForkBenchSampled(const ForkBenchParams &params,
                                            ForkMode mode, SystemConfig config,
                                            const SampledSimParams &sampled,
                                            StatsSampler *sampler = nullptr);
+
+// ----- warm-start execution (DESIGN.md §11) ----------------------------
+
+/**
+ * A benchmark's simulated warmup prefix, captured right after the warmup
+ * epoch closes and before the fork. The prefix is mode-independent (no
+ * overlays or CoW state exist before the fork), so one warm state fans
+ * out across CoW/OoW rows — and, via the config override of
+ * runForkBenchFromWarmState(), across policy-field config sweeps.
+ */
+struct ForkBenchWarmState
+{
+    ForkBenchParams params;
+    SystemConfig config;
+    /** Tick at which the warmup epoch closed. */
+    Tick warmupEnd = 0;
+    /** Parent process ASID. */
+    Asid parent = 0;
+    /** System + core + RNG snapshot payload. */
+    std::vector<std::uint8_t> machine;
+};
+
+/**
+ * Simulate the warmup prefix of @p params once and capture it. The
+ * returned state is immutable; every runForkBenchFromWarmState() call
+ * restores a private copy of the machine.
+ */
+ForkBenchWarmState prepareForkBenchWarmState(const ForkBenchParams &params,
+                                             SystemConfig config);
+
+/**
+ * Run the post-fork measurement phase from a warm state. Produces a
+ * result byte-identical to runForkBench(warm.params, mode, warm.config):
+ * the restored machine, core and RNG continue exactly where the prefix
+ * stopped. @p config_override (optional) swaps in a config that may
+ * differ from warm.config in policy fields only (promote threshold, OS
+ * cost constants); structural differences throw snapshot::SnapshotError.
+ */
+ForkBenchResult runForkBenchFromWarmState(
+    const ForkBenchWarmState &warm, ForkMode mode,
+    const SystemConfig *config_override = nullptr,
+    std::ostream *dump_stats = nullptr,
+    std::vector<TraceOp> *record = nullptr);
+
+// ----- crash-resumable checkpoint/restore (DESIGN.md §11) --------------
+
+/** Checkpointing policy of runForkBenchCheckpointed(). */
+struct ForkBenchCheckpointOptions
+{
+    /** Snapshot file to (over)write. */
+    std::string path;
+    /**
+     * Periodic mode: write a checkpoint at the first op boundary at or
+     * after every multiple of this many post-fork ticks, and keep
+     * running. 0 disables.
+     */
+    Tick everyTicks = 0;
+    /**
+     * One-shot mode: write one checkpoint at the first op boundary at or
+     * after this tick, then stop the run (the function returns nullopt).
+     * 0 disables.
+     */
+    Tick atTick = 0;
+};
+
+/**
+ * runForkBench with checkpointing. The executed run is op-for-op
+ * identical to runForkBench(params, mode, config); checkpoints observe
+ * the run without perturbing it. Returns the result, or nullopt when a
+ * one-shot checkpoint stopped the run early.
+ */
+std::optional<ForkBenchResult> runForkBenchCheckpointed(
+    const ForkBenchParams &params, ForkMode mode, SystemConfig config,
+    const ForkBenchCheckpointOptions &ckpt);
+
+/**
+ * Resume a checkpoint file to completion. The continued run — and the
+ * returned result — is byte-identical to the uninterrupted run the
+ * checkpoint was cut from. The machine configuration is rebuilt as the
+ * default SystemConfig (what `overlaysim forkbench` runs) plus the
+ * checkpoint's recorded post-fork instruction count. Throws
+ * snapshot::SnapshotError on any malformed, truncated or mismatched
+ * file.
+ */
+ForkBenchResult resumeForkBenchCheckpoint(const std::string &path);
 
 } // namespace ovl
 

@@ -4,7 +4,19 @@
  *
  *   overlaysim forkbench <name|all> [--mode cow|oow|both]
  *                                   [--post-instr N] [--json FILE]
- *       Run one (or all) of the 15 synthetic fork benchmarks.
+ *       Run one (or all) of the 15 synthetic fork benchmarks. With
+ *       `--checkpoint-every T --checkpoint-file FILE` (one benchmark,
+ *       one mode) a crash-resumable snapshot is rewritten every T
+ *       simulated ticks while the run proceeds unperturbed.
+ *
+ *   overlaysim checkpoint <name> --mode cow|oow --at-tick T --out FILE
+ *                                [--post-instr N]
+ *       Run a fork benchmark up to simulated tick T, write a snapshot,
+ *       and stop.
+ *
+ *   overlaysim restore <FILE>
+ *       Resume a checkpoint to completion. The printed result row is
+ *       byte-identical to the uninterrupted `overlaysim forkbench` row.
  *
  *   overlaysim spmv --L X [--nnz N] [--rep overlay|csr|dense|all]
  *       Build a synthetic sparse matrix with non-zero locality L and run
@@ -39,6 +51,7 @@
 #include "common/random.hh"
 #include "cpu/ooo_core.hh"
 #include "cpu/trace_io.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats_sampler.hh"
 #include "sim/trace.hh"
 #include "sparse/csr.hh"
@@ -58,11 +71,17 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: overlaysim"
-                 " <forkbench|spmv|trace|config|list-debug-flags> ...\n"
+                 " <forkbench|checkpoint|restore|spmv|trace|config"
+                 "|list-debug-flags> ...\n"
                  "  forkbench <name|all> [--mode cow|oow|both]"
                  " [--post-instr N] [--stats FILE] [--record FILE]\n"
                  "            [--sample-interval N] [--stats-out FILE]\n"
                  "            [--trace-out FILE] [--trace-limit N]\n"
+                 "            [--checkpoint-every T --checkpoint-file"
+                 " FILE]\n"
+                 "  checkpoint <name> --mode cow|oow --at-tick T"
+                 " --out FILE [--post-instr N]\n"
+                 "  restore <file>\n"
                  "  spmv --L X [--nnz N] [--rep overlay|csr|dense|all]\n"
                  "  trace info <file>\n"
                  "  trace run <file> [--pages N] [--json FILE]\n"
@@ -98,11 +117,32 @@ maybeDumpJson(System &sys, const std::optional<std::string> &path)
     std::printf("stats written to %s\n", path->c_str());
 }
 
+/** The forkbench/restore result-row format (kept byte-identical). */
+void
+printForkRowHeader()
+{
+    std::printf("%-10s %-5s %10s %10s %12s\n", "benchmark", "mode", "CPI",
+                "extraMB", "forkCycles");
+}
+
+void
+printForkRow(const ForkBenchResult &res)
+{
+    std::printf("%-10s %-5s %10.3f %10.2f %12llu\n", res.name.c_str(),
+                res.mode == ForkMode::CopyOnWrite ? "cow" : "oow",
+                res.cpi, res.additionalMemoryMB,
+                (unsigned long long)res.forkLatency);
+}
+
 int
 cmdForkbench(std::vector<std::string> args)
 {
     std::optional<std::string> mode_str = flagValue(args, "--mode");
     std::optional<std::string> post_str = flagValue(args, "--post-instr");
+    std::optional<std::string> ckpt_every_str =
+        flagValue(args, "--checkpoint-every");
+    std::optional<std::string> ckpt_file =
+        flagValue(args, "--checkpoint-file");
     std::optional<std::string> stats_path = flagValue(args, "--stats");
     std::optional<std::string> record_path = flagValue(args, "--record");
     std::optional<std::string> interval_str =
@@ -148,8 +188,26 @@ cmdForkbench(std::vector<std::string> args)
     bool run_cow = !mode_str || *mode_str == "cow" || *mode_str == "both";
     bool run_oow = !mode_str || *mode_str == "oow" || *mode_str == "both";
 
-    std::printf("%-10s %-5s %10s %10s %12s\n", "benchmark", "mode", "CPI",
-                "extraMB", "forkCycles");
+    ForkBenchCheckpointOptions ckpt;
+    if (bool(ckpt_every_str) != bool(ckpt_file))
+        ovl_fatal("--checkpoint-every and --checkpoint-file go together");
+    if (ckpt_file) {
+        ckpt.path = *ckpt_file;
+        ckpt.everyTicks =
+            std::strtoull(ckpt_every_str->c_str(), nullptr, 10);
+        if (ckpt.everyTicks == 0)
+            ovl_fatal("--checkpoint-every needs a positive tick period");
+        if (selected.size() != 1 || (run_cow && run_oow)) {
+            ovl_fatal("--checkpoint-every needs a single benchmark and a"
+                      " single --mode (a checkpoint file holds one run)");
+        }
+        if (stats_path || record_path || sample_path || trace_path) {
+            ovl_fatal("--checkpoint-every is incompatible with --stats,"
+                      " --record, --sample-interval and --trace-out");
+        }
+    }
+
+    printForkRowHeader();
     for (ForkBenchParams params : selected) {
         if (post_str)
             params.postForkInstructions =
@@ -170,22 +228,30 @@ cmdForkbench(std::vector<std::string> args)
                                 params.name +
                                     (pass == 0 ? "/cow" : "/oow"));
             }
-            ForkBenchResult res = runForkBench(
-                params, mode, SystemConfig{},
-                stats_path ? &stats_os : nullptr,
-                record_path ? &recorded : nullptr,
-                sampler ? &*sampler : nullptr);
+            ForkBenchResult res;
+            if (ckpt_file) {
+                // Periodic mode always runs to completion; the observer
+                // checkpoints never perturb the simulated run.
+                res = *runForkBenchCheckpointed(params, mode,
+                                                SystemConfig{}, ckpt);
+            } else {
+                res = runForkBench(params, mode, SystemConfig{},
+                                   stats_path ? &stats_os : nullptr,
+                                   record_path ? &recorded : nullptr,
+                                   sampler ? &*sampler : nullptr);
+            }
             if (record_path) {
                 saveTraceFile(*record_path, recorded);
                 std::printf("recorded %zu trace records to %s\n",
                             recorded.size(), record_path->c_str());
             }
-            std::printf("%-10s %-5s %10.3f %10.2f %12llu\n",
-                        res.name.c_str(), pass == 0 ? "cow" : "oow",
-                        res.cpi, res.additionalMemoryMB,
-                        (unsigned long long)res.forkLatency);
+            printForkRow(res);
         }
     }
+    if (ckpt_file)
+        std::printf("checkpoints written to %s every %llu ticks\n",
+                    ckpt.path.c_str(),
+                    (unsigned long long)ckpt.everyTicks);
     if (stats_path)
         std::printf("component stats appended to %s\n",
                     stats_path->c_str());
@@ -201,6 +267,69 @@ cmdForkbench(std::vector<std::string> args)
             std::printf(", %llu dropped at --trace-limit",
                         (unsigned long long)dropped);
         std::printf(")\n");
+    }
+    return 0;
+}
+
+int
+cmdCheckpoint(std::vector<std::string> args)
+{
+    std::optional<std::string> mode_str = flagValue(args, "--mode");
+    std::optional<std::string> tick_str = flagValue(args, "--at-tick");
+    std::optional<std::string> out_path = flagValue(args, "--out");
+    std::optional<std::string> post_str = flagValue(args, "--post-instr");
+    if (args.size() != 1 || !mode_str || !tick_str || !out_path)
+        return usage();
+    if (*mode_str != "cow" && *mode_str != "oow")
+        ovl_fatal("--mode must be cow or oow");
+    ForkMode mode = *mode_str == "cow" ? ForkMode::CopyOnWrite
+                                       : ForkMode::OverlayOnWrite;
+
+    ForkBenchParams params = forkBenchByName(args[0]);
+    if (post_str)
+        params.postForkInstructions =
+            std::strtoull(post_str->c_str(), nullptr, 10);
+
+    ForkBenchCheckpointOptions ckpt;
+    ckpt.path = *out_path;
+    ckpt.atTick = std::strtoull(tick_str->c_str(), nullptr, 10);
+    if (ckpt.atTick == 0)
+        ovl_fatal("--at-tick needs a positive simulated tick");
+
+    std::optional<ForkBenchResult> res =
+        runForkBenchCheckpointed(params, mode, SystemConfig{}, ckpt);
+    if (res) {
+        // The run retired all post-fork instructions before reaching the
+        // requested tick, so there is nothing left to resume.
+        std::fprintf(stderr,
+                     "%s/%s finished before simulated tick %llu;"
+                     " no checkpoint written\n",
+                     params.name.c_str(), mode_str->c_str(),
+                     (unsigned long long)ckpt.atTick);
+        printForkRowHeader();
+        printForkRow(*res);
+        return 1;
+    }
+    std::printf("checkpoint written to %s (stopped at the first op"
+                " boundary at or after tick %llu)\n",
+                ckpt.path.c_str(), (unsigned long long)ckpt.atTick);
+    std::printf("resume with: overlaysim restore %s\n", ckpt.path.c_str());
+    return 0;
+}
+
+int
+cmdRestore(std::vector<std::string> args)
+{
+    if (args.size() != 1)
+        return usage();
+    try {
+        ForkBenchResult res = resumeForkBenchCheckpoint(args[0]);
+        printForkRowHeader();
+        printForkRow(res);
+    } catch (const snapshot::SnapshotError &e) {
+        std::fprintf(stderr, "restore failed: %s: %s\n", args[0].c_str(),
+                     e.what());
+        return 1;
     }
     return 0;
 }
@@ -392,6 +521,10 @@ main(int argc, char **argv)
     std::vector<std::string> args(argv + 2, argv + argc);
     if (cmd == "forkbench")
         return cmdForkbench(std::move(args));
+    if (cmd == "checkpoint")
+        return cmdCheckpoint(std::move(args));
+    if (cmd == "restore")
+        return cmdRestore(std::move(args));
     if (cmd == "spmv")
         return cmdSpmv(std::move(args));
     if (cmd == "trace")
