@@ -24,6 +24,7 @@
  *                        [--only NAME]
  *                        [--sample-interval N --stats-out FILE]
  *                        [--trace-out FILE [--trace-limit N]]
+ *                        [--profile-out FILE [--profile-collapsed FILE]]
  *   --scale multiplies every workload's access count (default 1).
  *   --only runs a single workload by name (repeatable; profiling and
  *     per-workload A/B runs want an unpolluted measurement).
@@ -32,6 +33,14 @@
  *   --sample-interval/--stats-out stream a JSONL stats sample every N
  *     ticks (DESIGN.md §9); requires --jobs 1 (one shared output).
  *   --trace-out writes a Chrome trace-event JSON of the run.
+ *   --profile-out writes per-workload host-time attribution JSON
+ *     (DESIGN.md §12; requires --jobs 1 and a -DOVL_PROFILE=ON build to
+ *     be non-empty); --profile-collapsed adds a collapsed-stack file
+ *     (flamegraph.pl input, workload name as the root frame).
+ *
+ * The "_run" record also carries host/build metadata (CPU, cores,
+ * compiler, flags, build type) so bench_compare.py can flag cross-host
+ * comparisons that need --normalize.
  *
  * Instrumentation changes host throughput, never simulated_ticks: an
  * instrumented run's fingerprint must equal the plain run's.
@@ -49,7 +58,9 @@
 #include <cmath>
 
 #include "common/random.hh"
+#include "sim/hostinfo.hh"
 #include "sim/parallel.hh"
+#include "sim/profile.hh"
 #include "sim/stats_sampler.hh"
 #include "sim/trace.hh"
 #include "system/system.hh"
@@ -414,8 +425,10 @@ writeJson(const std::vector<Result> &results, const std::string &path,
         std::exit(1);
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"_run\": {\"jobs\": %u, \"wall_seconds\": %.6f},\n",
-                 jobs, wall_seconds);
+    std::fprintf(f,
+                 "  \"_run\": {\"jobs\": %u, \"wall_seconds\": %.6f, "
+                 "\"host\": %s},\n",
+                 jobs, wall_seconds, hostInfoJson().c_str());
     for (std::size_t i = 0; i < results.size(); ++i) {
         const Result &r = results[i];
         double maps = double(r.accesses) / r.seconds / 1e6;
@@ -448,6 +461,8 @@ main(int argc, char **argv)
     std::string sample_path;
     std::string trace_path;
     std::uint64_t trace_limit = 0;
+    std::string profile_path;
+    std::string profile_collapsed;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
             out = argv[++i];
@@ -474,12 +489,20 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--trace-limit") == 0 &&
                    i + 1 < argc) {
             trace_limit = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--profile-out") == 0 &&
+                   i + 1 < argc) {
+            profile_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--profile-collapsed") == 0 &&
+                   i + 1 < argc) {
+            profile_collapsed = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [-o out.json] [--scale N] [--jobs N]"
                          " [--only NAME]"
                          " [--sample-interval N --stats-out FILE]"
-                         " [--trace-out FILE [--trace-limit N]]\n",
+                         " [--trace-out FILE [--trace-limit N]]"
+                         " [--profile-out FILE"
+                         " [--profile-collapsed FILE]]\n",
                          argv[0]);
             return 1;
         }
@@ -496,6 +519,25 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s: --stats-out requires --jobs 1\n",
                      argv[0]);
         return 1;
+    }
+    if (!profile_collapsed.empty() && profile_path.empty()) {
+        std::fprintf(stderr,
+                     "%s: --profile-collapsed requires --profile-out\n",
+                     argv[0]);
+        return 1;
+    }
+    bool profiling = !profile_path.empty();
+    if (profiling && jobs != 1) {
+        // Per-workload attribution windows (collect-with-reset between
+        // workloads) only make sense when workloads run one at a time.
+        std::fprintf(stderr, "%s: --profile-out requires --jobs 1\n",
+                     argv[0]);
+        return 1;
+    }
+    if (profiling && !hostInfo().profileCompiled) {
+        std::fprintf(stderr,
+                     "warn: profiler not compiled in (configure with "
+                     "-DOVL_PROFILE=ON); profile will be empty\n");
     }
     std::ofstream sample_os;
     if (!sample_path.empty()) {
@@ -542,6 +584,9 @@ main(int argc, char **argv)
         return 1;
     }
 
+    std::vector<prof::Report> reports(workloads.size());
+    if (profiling)
+        prof::enable();
     auto wall_start = Clock::now();
     std::vector<Result> results = parallelMap(
         workloads.size(),
@@ -555,11 +600,42 @@ main(int argc, char **argv)
             Result r =
                 workloads[i](counts[i], sampler ? &*sampler : nullptr);
             r.wallSeconds = elapsed(workload_start);
+            // collect(reset) closes this workload's attribution window
+            // so the next workload starts a fresh one (jobs is 1 here).
+            if (profiling)
+                reports[i] = prof::collect(true);
             return r;
         },
         jobs,
         [&names](std::size_t i) { return names[i]; });
     double wall_seconds = elapsed(wall_start);
+    if (profiling) {
+        prof::disable();
+        std::ofstream pf(profile_path);
+        if (!pf) {
+            std::fprintf(stderr, "cannot open %s\n", profile_path.c_str());
+            return 1;
+        }
+        pf << "{\n\"_host\": " << hostInfoJson();
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            pf << ",\n\"" << names[i] << "\": ";
+            prof::writeJson(pf, reports[i]);
+        }
+        pf << "}\n";
+        std::printf("profile written to %s\n", profile_path.c_str());
+        if (!profile_collapsed.empty()) {
+            std::ofstream cf(profile_collapsed);
+            if (!cf) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             profile_collapsed.c_str());
+                return 1;
+            }
+            for (std::size_t i = 0; i < reports.size(); ++i)
+                prof::writeCollapsed(cf, reports[i], names[i]);
+            std::printf("collapsed stacks written to %s\n",
+                        profile_collapsed.c_str());
+        }
+    }
     if (!trace_path.empty()) {
         trace::stop();
         std::printf("trace written to %s\n", trace_path.c_str());

@@ -56,6 +56,22 @@ def main():
     with open(args.candidate) as f:
         cand = json.load(f)
 
+    # Cross-host comparison check: the "_run" record carries host/build
+    # metadata (CPU, cores, compiler, flags, build type). Absolute
+    # throughput is not comparable across different hosts or builds, so
+    # warn unless --normalize is already compensating. Older files
+    # predate the "host" field; nothing to check then.
+    base_host = base.get("_run", {}).get("host")
+    cand_host = cand.get("_run", {}).get("host")
+    if (base_host is not None and cand_host is not None
+            and base_host != cand_host and not args.normalize):
+        diff_keys = sorted(k for k in set(base_host) | set(cand_host)
+                           if base_host.get(k) != cand_host.get(k))
+        print(f"warning: host/build metadata differs "
+              f"({', '.join(diff_keys)}); absolute throughput is not "
+              f"comparable across hosts -- consider --normalize",
+              file=sys.stderr)
+
     # Run-level entries are not workloads.
     base = {n: v for n, v in base.items() if not n.startswith("_")}
     cand = {n: v for n, v in cand.items() if not n.startswith("_")}

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Localize the first divergence between two golden-stats JSON files.
+
+Usage:
+    scripts/stats_diff.py a.json b.json
+
+Python twin of `overlaysim stats-diff`: flattens each file's nested
+objects into dotted scalar paths (system.accesses, dram.rowHits,
+tlb.l1.hits.buckets.3, ...) in file order and reports the first path
+whose value differs, plus the total count of differing scalars. Use it
+where the binary isn't built — CI log forensics, comparing archived
+runs. Inputs come from `overlaysim forkbench <name> --mode cow|oow
+--json FILE` (the dumpAllStatsJson grammar: nested objects of numbers
+and nulls), but any JSON whose leaves are scalars works.
+
+Exit codes match the C++ verb: 0 identical, 1 differing, 2 unreadable
+or unparseable input.
+"""
+
+import json
+import sys
+from collections import OrderedDict
+
+
+def flatten(value, path, out):
+    """Depth-first flatten into an ordered {dotted-path: leaf} map."""
+    if isinstance(value, dict):
+        for key, child in value.items():
+            flatten(child, f"{path}.{key}" if path else key, out)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            flatten(child, f"{path}.{i}" if path else str(i), out)
+    else:
+        out[path] = value
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f, object_pairs_hook=OrderedDict)
+    except (OSError, ValueError) as err:
+        print(f"stats_diff: {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    out = OrderedDict()
+    flatten(doc, "", out)
+    return out
+
+
+def fmt(value):
+    if value is None:
+        return "null"
+    return repr(value)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: stats_diff.py <a.json> <b.json>", file=sys.stderr)
+        return 2
+    a = load(sys.argv[1])
+    b = load(sys.argv[2])
+
+    first = None
+    differing = 0
+    compared = 0
+    for path, av in a.items():
+        if path not in b:
+            differing += 1
+            if first is None:
+                first = (path, av, None, "only in a")
+            continue
+        compared += 1
+        bv = b.pop(path)
+        if av != bv:
+            differing += 1
+            if first is None:
+                first = (path, av, bv, None)
+    for path, bv in b.items():
+        differing += 1
+        if first is None:
+            first = (path, None, bv, "only in b")
+
+    if first is None:
+        print(f"stats identical: {compared} scalars compared")
+        return 0
+    path, av, bv, note = first
+    if note:
+        print(f"first divergence: {path} ({note})")
+    else:
+        print(f"first divergence: {path}")
+        print(f"  a: {fmt(av)}")
+        print(f"  b: {fmt(bv)}")
+    print(f"{differing} differing scalar(s) ({compared} compared in "
+          f"both files)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

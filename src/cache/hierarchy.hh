@@ -20,6 +20,7 @@
 #include "cache/prefetcher.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "sim/profile.hh"
 #include "sim/sim_object.hh"
 #include "sim/trace.hh"
 
@@ -274,6 +275,7 @@ CacheHierarchy::access(Addr line_addr, bool is_write, Tick when,
 {
     ovl_assert((line_addr & kLineMask) == 0, "unaligned line address");
     ++accesses_;
+    OVL_PROF_SCOPE(CacheLookup);
 
     Tick t = when;
     CacheAccessResult l1_res = l1_.access(line_addr, is_write);
@@ -286,6 +288,9 @@ CacheHierarchy::access(Addr line_addr, bool is_write, Tick when,
         return t + params_.l1.hitLatency();
     }
     t += params_.l1.missDetectLatency();
+    // Like the trace points, the miss-cascade scope opens only after an
+    // L1 miss, keeping the hit fast path identical when profiling.
+    OVL_PROF_SCOPE(MissCascade);
 
     CacheAccessResult l2_res = l2_.access(line_addr, false);
     if (l2_res.eviction)

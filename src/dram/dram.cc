@@ -5,6 +5,7 @@
 #include "common/intmath.hh"
 #include "common/debug.hh"
 #include "common/logging.hh"
+#include "sim/profile.hh"
 #include "sim/snapshot.hh"
 #include "sim/trace.hh"
 
@@ -127,6 +128,7 @@ Tick
 DramController::read(Addr line_addr, Tick when)
 {
     ++readRequests_;
+    OVL_PROF_SCOPE(Dram);
     Tick start = when + dram_.params().controllerOverhead;
     if (drainBusyUntil_ > start) {
         readDrainStallCycles_ += drainBusyUntil_ - start;
@@ -141,6 +143,7 @@ Tick
 DramController::enqueueWrite(Addr line_addr, Tick when)
 {
     ++writeRequests_;
+    OVL_PROF_SCOPE(Dram);
     writeBuffer_.push_back(line_addr);
     Tick accept = when + dram_.params().controllerOverhead;
     if (writeBuffer_.size() >= writeBufferEntries_)
@@ -154,6 +157,7 @@ DramController::drainWrites(Tick when)
     if (writeBuffer_.empty())
         return when;
     ++drains_;
+    OVL_PROF_SCOPE(Dram);
     ovl_trace(dram, "drain: %zu writes at t=%llu", writeBuffer_.size(),
               (unsigned long long)when);
     // All buffered writes are issued to the banks at the drain start;

@@ -4,6 +4,7 @@
 
 #include "common/debug.hh"
 #include "common/logging.hh"
+#include "sim/profile.hh"
 #include "sim/snapshot.hh"
 #include "sim/trace.hh"
 
@@ -152,6 +153,7 @@ OverlayManager::finishOmtAccess(Opn opn, const OmtCache::LookupResult &res,
     Tick t = when + omtCache_.params().hitLatency;
     if (res.hit)
         return t;
+    OVL_PROF_SCOPE(OmtWalk);
 
     // Miss: write back a displaced modified entry, then walk the table.
     // The walk (radix descent + segment-metadata read, §4.4.4) is
@@ -264,6 +266,7 @@ OverlayManager::migrateSegment(OmtEntry &entry, Opn opn, Tick &when)
     ovl_assert(entry.hasSegment, "migrating a segment-less overlay");
     ovl_assert(entry.seg.cls != SegClass::Seg4KB, "4 KB segments never grow");
     ++migrations_;
+    OVL_PROF_SCOPE(OmsAlloc);
 
     ovl_trace(overlay, "migrate: opn=%llx from %lluB (obv=%u lines)",
               (unsigned long long)opn,
@@ -311,6 +314,7 @@ Addr
 OverlayManager::ensureSlot(OmtEntry &entry, Opn opn, unsigned line_in_page,
                            Tick &when)
 {
+    OVL_PROF_SCOPE(OmsAlloc);
     if (!entry.hasSegment) {
         // Size the first segment for the lines the OBitVector already
         // maps (the smallest class that fits, §4.4.2) — or a full page

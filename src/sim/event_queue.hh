@@ -24,6 +24,7 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "sim/profile.hh"
 
 namespace ovl
 {
@@ -198,10 +199,15 @@ class EventQueue
     void
     runUntil(Tick until)
     {
-        while (!heap_.empty() && heap_.front().when <= until) {
-            Event ev = popMin();
-            now_ = ev.when;
-            ev.cb(now_);
+        if (!heap_.empty() && heap_.front().when <= until) {
+            // Scope only opens when events are actually due, so the
+            // common no-events-pending poll stays one compare.
+            OVL_PROF_SCOPE(EventQueue);
+            do {
+                Event ev = popMin();
+                now_ = ev.when;
+                ev.cb(now_);
+            } while (!heap_.empty() && heap_.front().when <= until);
         }
         if (until > now_)
             now_ = until;

@@ -1,0 +1,114 @@
+#include "hostinfo.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "buildinfo.hh"
+
+namespace ovl
+{
+
+namespace
+{
+
+std::string
+cpuModelName()
+{
+#ifdef __linux__
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        auto colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        if (line.compare(0, 10, "model name") == 0) {
+            std::size_t start = line.find_first_not_of(" \t", colon + 1);
+            return start == std::string::npos ? "unknown"
+                                              : line.substr(start);
+        }
+    }
+#endif
+    return "unknown";
+}
+
+std::string
+compilerId()
+{
+#if defined(__clang__)
+    return std::string("clang ") + std::to_string(__clang_major__) + "." +
+           std::to_string(__clang_minor__) + "." +
+           std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+           std::to_string(__GNUC_MINOR__) + "." +
+           std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace
+
+const HostInfo &
+hostInfo()
+{
+    static const HostInfo info = [] {
+        HostInfo h;
+        h.cpuModel = cpuModelName();
+        unsigned n = std::thread::hardware_concurrency();
+        h.cores = n > 0 ? n : 1;
+        h.compiler = compilerId();
+        h.cxxFlags = OVL_BUILD_CXX_FLAGS;
+        h.buildType = OVL_BUILD_TYPE;
+#ifdef OVL_PROFILE
+        h.profileCompiled = true;
+#else
+        h.profileCompiled = false;
+#endif
+        return h;
+    }();
+    return info;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+hostInfoJson()
+{
+    const HostInfo &h = hostInfo();
+    std::ostringstream os;
+    os << "{\"cpu\": \"" << jsonEscape(h.cpuModel) << "\", \"cores\": "
+       << h.cores << ", \"compiler\": \"" << jsonEscape(h.compiler)
+       << "\", \"cxx_flags\": \"" << jsonEscape(h.cxxFlags)
+       << "\", \"build_type\": \"" << jsonEscape(h.buildType)
+       << "\", \"profile_compiled\": "
+       << (h.profileCompiled ? "true" : "false") << "}";
+    return os.str();
+}
+
+} // namespace ovl

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Host and build metadata for benchmark provenance: CPU model, core
+ * count, compiler + flags, build type. Recorded in the `_run` record of
+ * BENCH_throughput.json so scripts/bench_compare.py can warn when two
+ * files being compared were produced on different hosts or builds
+ * (where absolute throughput is meaningless without --normalize).
+ */
+
+#ifndef OVERLAYSIM_SIM_HOSTINFO_HH
+#define OVERLAYSIM_SIM_HOSTINFO_HH
+
+#include <string>
+
+namespace ovl
+{
+
+struct HostInfo
+{
+    std::string cpuModel;   ///< /proc/cpuinfo "model name" (or "unknown")
+    unsigned cores;         ///< std::thread::hardware_concurrency()
+    std::string compiler;   ///< e.g. "gcc 13.2.0"
+    std::string cxxFlags;   ///< CMAKE_CXX_FLAGS + per-build-type flags
+    std::string buildType;  ///< CMAKE_BUILD_TYPE
+    bool profileCompiled;   ///< built with -DOVL_PROFILE=ON
+};
+
+/** The current process's host/build metadata (computed once). */
+const HostInfo &hostInfo();
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** hostInfo() rendered as a JSON object, e.g. for a "host" field. */
+std::string hostInfoJson();
+
+} // namespace ovl
+
+#endif // OVERLAYSIM_SIM_HOSTINFO_HH

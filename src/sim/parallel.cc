@@ -112,6 +112,18 @@ ProgressReporter::itemDone(std::size_t index)
                  label.c_str(), wall);
 }
 
+void
+ProgressReporter::workerDone(std::size_t worker, std::size_t workers,
+                             std::uint64_t items, double busy_seconds,
+                             double idle_seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fprintf(stderr,
+                 "[worker %zu/%zu] %llu item%s, busy %.1fs, idle %.1fs\n",
+                 worker + 1, workers, (unsigned long long)items,
+                 items == 1 ? "" : "s", busy_seconds, idle_seconds);
+}
+
 namespace detail
 {
 

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -82,6 +83,17 @@ class ProgressReporter
 
     /** Report item @p index complete. Callable from any worker thread. */
     void itemDone(std::size_t index);
+
+    /**
+     * Per-worker telemetry summary, printed when a worker's drain loop
+     * ends: items picked, host time busy inside closures, and idle time
+     * (queue-wait for the first item plus the tail wait while other
+     * workers finish items this one couldn't pick). One stderr line per
+     * worker, emitted only on the threaded path with progress enabled.
+     */
+    void workerDone(std::size_t worker, std::size_t workers,
+                    std::uint64_t items, double busy_seconds,
+                    double idle_seconds);
 
   private:
     std::size_t total_;
@@ -146,11 +158,24 @@ parallelMap(std::size_t num_items, Fn &&fn, unsigned jobs,
     detail::prepareForWorkers();
     std::atomic<std::size_t> cursor{0};
     std::vector<std::exception_ptr> errors(num_items);
-    auto drain = [&] {
+    auto drain = [&](std::size_t worker) {
+        using clock = std::chrono::steady_clock;
+        // Telemetry clocks tick only when a reporter is listening, so a
+        // plain (progress-off) sweep runs the exact pre-telemetry loop.
+        clock::time_point wall_start;
+        double busy = 0.0;
+        std::uint64_t picked = 0;
+        if (progress)
+            wall_start = clock::now();
         for (;;) {
             std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= num_items)
-                return;
+                break;
+            clock::time_point item_start;
+            if (progress) {
+                ++picked;
+                item_start = clock::now();
+            }
             try {
                 results[i] = fn(i);
                 if (progress)
@@ -158,14 +183,26 @@ parallelMap(std::size_t num_items, Fn &&fn, unsigned jobs,
             } catch (...) {
                 errors[i] = std::current_exception();
             }
+            if (progress) {
+                busy += std::chrono::duration<double>(clock::now() -
+                                                      item_start)
+                            .count();
+            }
+        }
+        if (progress) {
+            double wall = std::chrono::duration<double>(clock::now() -
+                                                        wall_start)
+                              .count();
+            progress->workerDone(worker, workers, picked, busy,
+                                 wall > busy ? wall - busy : 0.0);
         }
     };
 
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
     for (std::size_t w = 1; w < workers; ++w)
-        pool.emplace_back(drain);
-    drain(); // the calling thread is worker 0
+        pool.emplace_back(drain, w);
+    drain(0); // the calling thread is worker 0
     for (std::thread &t : pool)
         t.join();
 

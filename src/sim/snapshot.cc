@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "sim/profile.hh"
+
 namespace ovl::snapshot
 {
 
@@ -9,6 +11,7 @@ void
 writeSnapshotFile(const std::string &path,
                   const std::vector<std::uint8_t> &payload)
 {
+    OVL_PROF_SCOPE(SnapshotIo);
     Writer header;
     header.u64(kFileMagic);
     header.u32(kFormatVersion);
@@ -29,6 +32,7 @@ writeSnapshotFile(const std::string &path,
 std::vector<std::uint8_t>
 readSnapshotFile(const std::string &path)
 {
+    OVL_PROF_SCOPE(SnapshotIo);
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
         throw SnapshotError("cannot open '" + path + "'");

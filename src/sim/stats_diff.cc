@@ -1,0 +1,274 @@
+#include "stats_diff.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ovl::statsdiff
+{
+
+namespace
+{
+
+/** Recursive-descent parser for the dumpAllStatsJson grammar. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, Doc &doc) : text_(text), doc_(doc) {}
+
+    void
+    run()
+    {
+        skipWs();
+        parseObject(std::string());
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing data after top-level object");
+    }
+
+  private:
+    void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("stats JSON parse error at byte " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  default: out += e; break;
+                }
+            } else {
+                out += c;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    void
+    parseValue(const std::string &path)
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{') {
+            parseObject(path);
+        } else if (c == 'n') {
+            if (text_.compare(pos_, 4, "null") != 0)
+                fail("expected null");
+            pos_ += 4;
+            doc_.scalars.push_back({path, 0.0, true});
+        } else if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '-' || text_[pos_] == '+' ||
+                    text_[pos_] == '.' || text_[pos_] == 'e' ||
+                    text_[pos_] == 'E'))
+                ++pos_;
+            char *end = nullptr;
+            std::string num = text_.substr(start, pos_ - start);
+            double v = std::strtod(num.c_str(), &end);
+            if (end == nullptr || *end != '\0')
+                fail("malformed number '" + num + "'");
+            doc_.scalars.push_back({path, v, false});
+        } else {
+            fail("expected object, number or null (golden-stats grammar "
+                 "has no arrays/strings/booleans)");
+        }
+    }
+
+    void
+    parseObject(const std::string &path)
+    {
+        skipWs();
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            parseValue(path.empty() ? key : path + "." + key);
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    const std::string &text_;
+    Doc &doc_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Doc
+parseStatsJson(const std::string &text)
+{
+    Doc doc;
+    Parser(text, doc).run();
+    return doc;
+}
+
+Doc
+parseStatsFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseStatsJson(buf.str());
+}
+
+DiffResult
+diff(const Doc &a, const Doc &b)
+{
+    DiffResult res;
+    std::unordered_map<std::string, const Scalar *> b_index;
+    b_index.reserve(b.scalars.size());
+    for (const Scalar &s : b.scalars)
+        b_index.emplace(s.path, &s);
+
+    auto record_first = [&](const Scalar *sa, const Scalar *sb,
+                            const std::string &path) {
+        if (!res.firstPath.empty())
+            return;
+        res.firstPath = path;
+        res.firstOnlyInA = sb == nullptr;
+        res.firstOnlyInB = sa == nullptr;
+        if (sa != nullptr) {
+            res.aValue = sa->value;
+            res.aNull = sa->isNull;
+        }
+        if (sb != nullptr) {
+            res.bValue = sb->value;
+            res.bNull = sb->isNull;
+        }
+    };
+
+    for (const Scalar &sa : a.scalars) {
+        auto it = b_index.find(sa.path);
+        if (it == b_index.end()) {
+            res.identical = false;
+            ++res.diffCount;
+            record_first(&sa, nullptr, sa.path);
+            continue;
+        }
+        const Scalar &sb = *it->second;
+        ++res.comparedCount;
+        if (sa.isNull != sb.isNull ||
+            (!sa.isNull && sa.value != sb.value)) {
+            res.identical = false;
+            ++res.diffCount;
+            record_first(&sa, &sb, sa.path);
+        }
+        b_index.erase(it); // leftovers are b-only paths
+    }
+    for (const Scalar &sb : b.scalars) {
+        if (b_index.count(sb.path) == 0)
+            continue;
+        res.identical = false;
+        ++res.diffCount;
+        record_first(nullptr, &sb, sb.path);
+    }
+    return res;
+}
+
+int
+runStatsDiff(const std::string &path_a, const std::string &path_b,
+             std::FILE *out)
+{
+    // A null @p out runs silently (exit-code-only use, e.g. tests).
+    Doc a, b;
+    try {
+        a = parseStatsFile(path_a);
+        b = parseStatsFile(path_b);
+    } catch (const std::exception &e) {
+        if (out != nullptr)
+            std::fprintf(out, "stats-diff: %s\n", e.what());
+        return 2;
+    }
+    DiffResult res = diff(a, b);
+    if (res.identical) {
+        if (out != nullptr)
+            std::fprintf(out, "stats identical: %zu scalars compared\n",
+                         res.comparedCount);
+        return 0;
+    }
+    if (out == nullptr)
+        return 1;
+    std::fprintf(out, "first divergence: %s\n", res.firstPath.c_str());
+    if (res.firstOnlyInA) {
+        std::fprintf(out, "  only in %s (a)\n", path_a.c_str());
+    } else if (res.firstOnlyInB) {
+        std::fprintf(out, "  only in %s (b)\n", path_b.c_str());
+    } else {
+        auto render = [](bool is_null, double v, char *buf,
+                         std::size_t n) {
+            if (is_null)
+                std::snprintf(buf, n, "null");
+            else
+                std::snprintf(buf, n, "%.17g", v);
+        };
+        char av[64], bv[64];
+        render(res.aNull, res.aValue, av, sizeof av);
+        render(res.bNull, res.bValue, bv, sizeof bv);
+        std::fprintf(out, "  a: %s\n  b: %s\n", av, bv);
+    }
+    std::fprintf(out,
+                 "%zu differing scalar%s (%zu compared in both files)\n",
+                 res.diffCount, res.diffCount == 1 ? "" : "s",
+                 res.comparedCount);
+    return 1;
+}
+
+} // namespace ovl::statsdiff

@@ -26,6 +26,7 @@
 #define OVERLAYSIM_SIM_TRACE_HH
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -71,6 +72,14 @@ std::uint64_t eventCount();
 
 /** Events dropped by the max_events cap since start(). */
 std::uint64_t droppedCount();
+
+/**
+ * Per-row trace file name for sweeps: inserts ".row<k>" before @p
+ * base's extension ("sweep.json", 3 → "sweep.row3.json"; no extension
+ * appends ".row3"). A sweep tracing N rows opens one sink per row so
+ * rows don't silently overwrite each other's file.
+ */
+std::string rowFilePath(const std::string &base, std::size_t row);
 
 /** Instant event ("ph":"i"): a point in time. */
 void instant(const char *cat, const char *name, Tick ts,

@@ -5,6 +5,7 @@
 
 #include "common/debug.hh"
 #include "common/logging.hh"
+#include "sim/profile.hh"
 #include "sim/snapshot.hh"
 #include "sim/stats_sampler.hh"
 #include "sim/trace.hh"
@@ -114,6 +115,7 @@ System::translate(Asid asid, Addr vpn, Tick &t, AccessOutcome *outcome,
         return tr.entry;
 
     ++tlbWalks_;
+    OVL_PROF_SCOPE(TlbWalk);
     if (outcome)
         outcome->tlbWalk = true;
     if (trace::active()) {
@@ -155,6 +157,7 @@ System::access(Asid asid, Addr vaddr, bool is_write, Tick when,
                AccessOutcome *outcome, unsigned core)
 {
     ++accesses_;
+    OVL_PROF_SCOPE(Access);
     AccessOutcome local;
     if (outcome == nullptr)
         outcome = &local;
@@ -204,6 +207,7 @@ void
 System::accessFunctional(Asid asid, Addr vaddr, bool is_write, unsigned core)
 {
     ++functionalAccesses_;
+    OVL_PROF_SCOPE(FunctionalFf);
     Addr vpn = pageNumber(vaddr);
     unsigned line = lineInPage(vaddr);
 
@@ -292,6 +296,7 @@ System::serviceCowFault(Asid asid, Addr vaddr, TlbEntryData *&entry,
                         Tick t, AccessOutcome *outcome, unsigned core)
 {
     ++cowFaults_;
+    OVL_PROF_SCOPE(CowFault);
     outcome->cowFault = true;
     ovl_trace(system, "CoW fault: asid=%u vaddr=%llx t=%llu",
               unsigned(asid), (unsigned long long)vaddr,
@@ -354,6 +359,7 @@ System::overlayLineFunctional(Opn opn, unsigned line, Addr phys_line_addr)
 Tick
 System::broadcastOre(Asid asid, Addr vpn, Opn opn, unsigned line, Tick t)
 {
+    OVL_PROF_SCOPE(OreBroadcast);
     // The overlaying-read-exclusive message travels the coherence
     // network: every TLB holding the mapping flips one OBitVector bit,
     // and the memory controller updates the OMT (§4.3.3). No shootdown.
@@ -383,6 +389,7 @@ System::serviceOverlayingWrite(Asid asid, Addr vaddr, TlbEntryData *entry,
                                Tick t, AccessOutcome *outcome)
 {
     ++overlayingWrites_;
+    OVL_PROF_SCOPE(OverlayingWrite);
     outcome->overlayingWrite = true;
     ovl_trace(system, "overlaying write: asid=%u vaddr=%llx line=%u t=%llu",
               unsigned(asid), (unsigned long long)vaddr,
@@ -611,6 +618,7 @@ System::metadataPeek(Asid asid, Addr vaddr, void *out,
 Asid
 System::fork(Asid parent, ForkMode mode, Tick when, Tick *done)
 {
+    OVL_PROF_SCOPE(Fork);
     Asid child = vmm_.fork(parent, mode);
     ovl_trace(system, "fork: parent=%u child=%u mode=%s", unsigned(parent),
               unsigned(child),
@@ -678,6 +686,7 @@ System::fork(Asid parent, ForkMode mode, Tick when, Tick *done)
 Asid
 System::forkFunctional(Asid parent, ForkMode mode)
 {
+    OVL_PROF_SCOPE(FunctionalFf);
     Asid child = vmm_.fork(parent, mode);
     Process &parent_proc = vmm_.process(parent);
     forkPagesShared_ += parent_proc.pageTable.size();
@@ -712,6 +721,7 @@ System::forkFunctional(Asid parent, ForkMode mode)
 void
 System::unmap(Asid asid, Addr vaddr, std::uint64_t len, Tick when)
 {
+    OVL_PROF_SCOPE(Teardown);
     ovl_assert(pageOffset(vaddr) == 0 && len % kPageSize == 0,
                "unmap requires a page-aligned range");
     for (Addr va = vaddr; va < vaddr + len; va += kPageSize) {
@@ -748,6 +758,7 @@ System::unmap(Asid asid, Addr vaddr, std::uint64_t len, Tick when)
 void
 System::destroyProcess(Asid asid, Tick when)
 {
+    OVL_PROF_SCOPE(Teardown);
     // Collect first: unmap() mutates the page table while iterating.
     // Teardown order is timing-visible (cache invalidations, frame
     // recycling); PageTable iteration is already ascending-VPN, so the
@@ -767,6 +778,7 @@ System::destroyProcess(Asid asid, Tick when)
 void
 System::destroyProcessFunctional(Asid asid)
 {
+    OVL_PROF_SCOPE(FunctionalFf);
     // Mirrors destroyProcess()/unmap() step for step, with cache drops
     // instead of invalidate+writeback: functional data lives in the
     // backing stores, so nothing is lost, and DRAM state stays put.
@@ -807,6 +819,7 @@ System::promoteOverlay(Asid asid, Addr vaddr, PromoteAction action,
                        Tick when)
 {
     ++promotions_;
+    OVL_PROF_SCOPE(Promote);
     ovl_trace(system, "promote: asid=%u page=%llx action=%d",
               unsigned(asid), (unsigned long long)pageBase(vaddr),
               int(action));
@@ -1073,6 +1086,7 @@ System::forEachStatsGroup(
 void
 System::serialize(snapshot::Writer &w)
 {
+    OVL_PROF_SCOPE(SnapshotIo);
     w.beginSection("SYS ");
     w.u32(std::uint32_t(tlbs_.size()));
     physMem_.serialize(w);
@@ -1098,6 +1112,7 @@ System::serialize(snapshot::Writer &w)
 void
 System::deserialize(snapshot::Reader &r)
 {
+    OVL_PROF_SCOPE(SnapshotIo);
     r.expectSection("SYS ");
     std::uint32_t num_tlbs = r.u32();
     if (num_tlbs != tlbs_.size()) {

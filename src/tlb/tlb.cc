@@ -4,6 +4,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "sim/profile.hh"
 #include "sim/snapshot.hh"
 #include "sim/trace.hh"
 
@@ -101,6 +102,7 @@ TwoLevelTlb::invalidate(Asid asid, Addr vpn, Tick when)
 void
 TwoLevelTlb::invalidateAsid(Asid asid, Tick when)
 {
+    OVL_PROF_SCOPE(TlbMaint);
     if (trace::active()) {
         trace::instant("tlb", "tlb_shootdown_asid", when,
                        {{"asid", asid}});

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "overlay/overlay_addr.hh"
+#include "sim/profile.hh"
 
 namespace ovl
 {
@@ -82,6 +83,7 @@ Vmm::unmap(Asid asid, Addr vaddr, std::uint64_t len)
 Asid
 Vmm::fork(Asid parent, ForkMode mode)
 {
+    OVL_PROF_SCOPE(Fork);
     Asid child = createProcess();
     Process &parent_proc = process(parent);
     Process &child_proc = process(child);

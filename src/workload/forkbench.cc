@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -484,7 +485,8 @@ forkBenchByName(const std::string &name)
 ForkBenchResult
 runForkBench(const ForkBenchParams &params, ForkMode mode,
              SystemConfig config, std::ostream *dump_stats,
-             std::vector<TraceOp> *record, StatsSampler *sampler)
+             std::vector<TraceOp> *record, StatsSampler *sampler,
+             std::ostream *dump_stats_json)
 {
     config.name = params.name;
     System system(config);
@@ -541,6 +543,8 @@ runForkBench(const ForkBenchParams &params, ForkMode mode,
         system.dumpAllStats(*dump_stats);
         core.dumpStats(*dump_stats);
     }
+    if (dump_stats_json != nullptr)
+        system.dumpAllStatsJson(*dump_stats_json);
     return res;
 }
 
@@ -600,14 +604,29 @@ runForkBenchSampled(const ForkBenchParams &params, ForkMode mode,
         SampledWindow win;
         core.beginEpoch(cursor);
 
+        // Host-time split: one steady_clock stamp per segment boundary
+        // (detailed→functional, window close), charged to the segment
+        // that just ended. Boundary-only cost, never touches sim state.
+        using host_clock = std::chrono::steady_clock;
+        host_clock::time_point seg_start = host_clock::now();
+        auto charge_segment = [&](double &bucket) {
+            host_clock::time_point now = host_clock::now();
+            bucket +=
+                std::chrono::duration<double>(now - seg_start).count();
+            seg_start = now;
+        };
+
         auto close_detail = [&]() {
             cursor = core.finishEpoch();
             win.detailedCycles = cursor - detail_start;
             win.detailedInstructions = win_instr;
+            charge_segment(win.detailedHostSeconds);
         };
         auto close_window = [&]() {
             if (in_detail)
                 close_detail(); // window never left its detailed prefix
+            else
+                charge_segment(win.functionalHostSeconds);
             win.instructions = win_instr;
             win.estimatedCycles =
                 win.detailedInstructions != 0
@@ -663,6 +682,8 @@ runForkBenchSampled(const ForkBenchParams &params, ForkMode mode,
             est_cycles += w.estimatedCycles;
             out.totalInstructions += w.instructions;
             out.detailedInstructions += w.detailedInstructions;
+            out.detailedHostSeconds += w.detailedHostSeconds;
+            out.functionalHostSeconds += w.functionalHostSeconds;
         }
         out.sampled.name = params.name;
         out.sampled.type = params.type;

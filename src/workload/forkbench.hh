@@ -130,6 +130,12 @@ struct SampledWindow
     Tick detailedCycles = 0;                ///< cycles of the prefix
     double estimatedCycles = 0.0;           ///< extrapolated window cycles
     Tick fullCycles = 0;                    ///< twin run (compareFull)
+    /** Host-time attribution of the window: wall seconds spent in the
+     *  detailed prefix vs the functional fast-forward remainder.
+     *  Measured at segment boundaries only (two steady_clock reads per
+     *  segment), so it is always on and never moves a tick. */
+    double detailedHostSeconds = 0.0;
+    double functionalHostSeconds = 0.0;
 };
 
 /** Outcome of a sampled run (plus the full-run comparison if requested). */
@@ -140,6 +146,9 @@ struct ForkBenchSampledResult
     std::vector<SampledWindow> windows;
     std::uint64_t totalInstructions = 0;
     std::uint64_t detailedInstructions = 0;
+    /** Host-time split of the post-fork phase (Σ over windows). */
+    double detailedHostSeconds = 0.0;
+    double functionalHostSeconds = 0.0;
     /** Filled when SampledSimParams::compareFull is set. */
     double fullCpi = 0.0;
     double cpiErrorPct = 0.0;
@@ -172,12 +181,16 @@ std::vector<Addr> buildWriteSchedule(const ForkBenchParams &params,
  * the whole run (warmup included) and finished/detached at the end;
  * the sampler must be freshly constructed (no groups added yet). The
  * post-fork resetStats() rebases a Delta-mode sampler automatically.
+ * When @p dump_stats_json is non-null, the post-fork System stats are
+ * dumped there in the dumpAllStatsJson grammar — the input format of
+ * `overlaysim stats-diff` (golden-stats forensics).
  */
 ForkBenchResult runForkBench(const ForkBenchParams &params, ForkMode mode,
                              SystemConfig config,
                              std::ostream *dump_stats = nullptr,
                              std::vector<TraceOp> *record = nullptr,
-                             StatsSampler *sampler = nullptr);
+                             StatsSampler *sampler = nullptr,
+                             std::ostream *dump_stats_json = nullptr);
 
 /**
  * Run one benchmark in sampled-simulation mode (see SampledSimParams).

@@ -489,6 +489,17 @@ TEST(Trace, EventCapTruncatesAndRecordsTheDrop)
     std::remove(path.c_str());
 }
 
+TEST(Trace, RowFilePathSuffixesTheRowBeforeTheExtension)
+{
+    EXPECT_EQ(trace::rowFilePath("sweep.json", 3), "sweep.row3.json");
+    EXPECT_EQ(trace::rowFilePath("out/f8.trace.json", 0),
+              "out/f8.trace.row0.json");
+    // A dot inside a directory name is not an extension.
+    EXPECT_EQ(trace::rowFilePath("runs.v2/sweep", 12),
+              "runs.v2/sweep.row12");
+    EXPECT_EQ(trace::rowFilePath("plain", 7), "plain.row7");
+}
+
 TEST(Trace, DisabledSinkIgnoresEvents)
 {
     EXPECT_FALSE(trace::active());

@@ -162,12 +162,15 @@ TEST(Parallel, ProgressReportsEveryItemOnStderrOnly)
         // Results are unaffected by progress reporting.
         EXPECT_EQ(results, (std::vector<std::size_t>{0, 3, 6, 9, 12}))
             << "jobs=" << jobs;
-        // One line per item; k counts completions so [5/5] always ends
-        // the stream, and every label appears exactly once.
+        // One line per item, plus one telemetry summary per worker on
+        // the threaded path; k counts completions so [5/5] always
+        // appears, and every label appears exactly once.
         std::size_t lines = 0;
         for (char c : err)
             lines += c == '\n';
-        EXPECT_EQ(lines, 5u) << "jobs=" << jobs << "\n" << err;
+        std::size_t worker_lines = jobs > 1 ? jobs : 0;
+        EXPECT_EQ(lines, 5u + worker_lines) << "jobs=" << jobs << "\n"
+                                            << err;
         EXPECT_NE(err.find("[5/5]"), std::string::npos) << err;
         for (unsigned i = 0; i < 5; ++i) {
             std::string label = "item-" + std::to_string(i) + " done";
@@ -176,6 +179,90 @@ TEST(Parallel, ProgressReportsEveryItemOnStderrOnly)
         }
     }
     setProgressEnabled(false);
+}
+
+TEST(Parallel, ProgressStderrStaysWellFormedWhenAWorkerThrows)
+{
+    // A worker throwing mid-sweep must not deadlock the pool, must still
+    // rethrow on the caller, and every stderr line the reporter did
+    // print stays whole (one fprintf per line, no interleaving).
+    setProgressEnabled(true);
+    testing::internal::CaptureStderr();
+    auto fn = [](std::size_t i) {
+        if (i == 3)
+            throw std::runtime_error("item 3 failed");
+        return int(i);
+    };
+    EXPECT_THROW(
+        {
+            parallelMap(12, fn, 4, [](std::size_t i) {
+                return "item-" + std::to_string(i);
+            });
+        },
+        std::runtime_error);
+    std::string err = testing::internal::GetCapturedStderr();
+    setProgressEnabled(false);
+
+    // Every line is one complete record: an item-done line, or a
+    // worker-telemetry summary. The thrown item reports no done line.
+    std::size_t item_lines = 0, worker_lines = 0, pos = 0;
+    while (pos < err.size()) {
+        std::size_t eol = err.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos) << "unterminated line: "
+                                          << err.substr(pos);
+        std::string line = err.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.rfind("[worker ", 0) == 0) {
+            ++worker_lines;
+            EXPECT_NE(line.find("busy"), std::string::npos) << line;
+            EXPECT_NE(line.find("idle"), std::string::npos) << line;
+        } else {
+            ++item_lines;
+            EXPECT_EQ(line.rfind("[", 0), 0u) << line;
+            EXPECT_NE(line.find(" done (wall "), std::string::npos)
+                << line;
+        }
+    }
+    EXPECT_EQ(item_lines, 11u) << err; // 12 items, one threw
+    EXPECT_EQ(err.find("item-3 done"), std::string::npos) << err;
+    EXPECT_EQ(worker_lines, 4u) << err;
+}
+
+TEST(Parallel, WorkerTelemetryAccountsForEveryItem)
+{
+    setProgressEnabled(true);
+    testing::internal::CaptureStderr();
+    parallelMap(
+        9, [](std::size_t i) { return i; }, 3,
+        [](std::size_t i) { return "t-" + std::to_string(i); });
+    std::string err = testing::internal::GetCapturedStderr();
+    setProgressEnabled(false);
+
+    // One "[worker w/3] N items, busy Bs, idle Is" line per worker, and
+    // the per-worker item counts sum to the sweep size.
+    std::size_t total_items = 0, worker_lines = 0, pos = 0;
+    while ((pos = err.find("[worker ", pos)) != std::string::npos) {
+        ++worker_lines;
+        std::size_t bracket = err.find(']', pos);
+        ASSERT_NE(bracket, std::string::npos);
+        EXPECT_NE(err.find("/3]", pos), std::string::npos);
+        total_items +=
+            std::strtoull(err.c_str() + bracket + 1, nullptr, 10);
+        pos = bracket;
+    }
+    EXPECT_EQ(worker_lines, 3u) << err;
+    EXPECT_EQ(total_items, 9u) << err;
+
+    // The serial path (jobs=1) prints item lines but no worker summary.
+    testing::internal::CaptureStderr();
+    setProgressEnabled(true);
+    parallelMap(
+        3, [](std::size_t i) { return i; }, 1,
+        [](std::size_t i) { return "s-" + std::to_string(i); });
+    std::string serial_err = testing::internal::GetCapturedStderr();
+    setProgressEnabled(false);
+    EXPECT_EQ(serial_err.find("[worker "), std::string::npos)
+        << serial_err;
 }
 
 TEST(Parallel, ProgressSilentWhenDisabledOrUnlabelled)

@@ -26,6 +26,12 @@
  *   overlaysim trace run <file> [--pages N] [--json FILE]
  *       Inspect or replay a binary trace (see src/cpu/trace_io.hh).
  *
+ *   overlaysim stats-diff <a.json> <b.json>
+ *       Golden-stats forensics: compare two dumpAllStatsJson files and
+ *       report the first diverging group/scalar (exit 0 identical,
+ *       1 differing, 2 parse failure). Produce inputs with
+ *       `forkbench <name> --mode cow|oow --json FILE`.
+ *
  *   overlaysim config
  *       Print the Table 2 machine configuration.
  *
@@ -35,7 +41,9 @@
  * Observability (forkbench): `--sample-interval N --stats-out FILE`
  * streams a JSONL stats sample every N ticks (see DESIGN.md §9);
  * `--trace-out FILE [--trace-limit N]` writes a Chrome trace-event JSON
- * loadable in Perfetto / chrome://tracing.
+ * loadable in Perfetto / chrome://tracing; `--profile-out FILE
+ * [--profile-collapsed FILE]` writes per-run host-time attribution
+ * (DESIGN.md §12; needs a -DOVL_PROFILE=ON build to be non-empty).
  */
 
 #include <cstdio>
@@ -51,7 +59,10 @@
 #include "common/random.hh"
 #include "cpu/ooo_core.hh"
 #include "cpu/trace_io.hh"
+#include "sim/hostinfo.hh"
+#include "sim/profile.hh"
 #include "sim/snapshot.hh"
+#include "sim/stats_diff.hh"
 #include "sim/stats_sampler.hh"
 #include "sim/trace.hh"
 #include "sparse/csr.hh"
@@ -71,17 +82,21 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: overlaysim"
-                 " <forkbench|checkpoint|restore|spmv|trace|config"
-                 "|list-debug-flags> ...\n"
+                 " <forkbench|checkpoint|restore|stats-diff|spmv|trace"
+                 "|config|list-debug-flags> ...\n"
                  "  forkbench <name|all> [--mode cow|oow|both]"
                  " [--post-instr N] [--stats FILE] [--record FILE]\n"
+                 "            [--json FILE (single benchmark + mode)]\n"
                  "            [--sample-interval N] [--stats-out FILE]\n"
                  "            [--trace-out FILE] [--trace-limit N]\n"
+                 "            [--profile-out FILE"
+                 " [--profile-collapsed FILE]]\n"
                  "            [--checkpoint-every T --checkpoint-file"
                  " FILE]\n"
                  "  checkpoint <name> --mode cow|oow --at-tick T"
                  " --out FILE [--post-instr N]\n"
                  "  restore <file>\n"
+                 "  stats-diff <a.json> <b.json>\n"
                  "  spmv --L X [--nnz N] [--rep overlay|csr|dense|all]\n"
                  "  trace info <file>\n"
                  "  trace run <file> [--pages N] [--json FILE]\n"
@@ -151,6 +166,11 @@ cmdForkbench(std::vector<std::string> args)
     std::optional<std::string> trace_path = flagValue(args, "--trace-out");
     std::optional<std::string> trace_limit_str =
         flagValue(args, "--trace-limit");
+    std::optional<std::string> json_path = flagValue(args, "--json");
+    std::optional<std::string> profile_path =
+        flagValue(args, "--profile-out");
+    std::optional<std::string> profile_collapsed =
+        flagValue(args, "--profile-collapsed");
     if (args.empty())
         return usage();
     std::ofstream stats_os;
@@ -158,6 +178,19 @@ cmdForkbench(std::vector<std::string> args)
         stats_os.open(*stats_path);
         if (!stats_os)
             ovl_fatal("cannot open %s for writing", stats_path->c_str());
+    }
+    std::ofstream json_os;
+    if (json_path) {
+        json_os.open(*json_path);
+        if (!json_os)
+            ovl_fatal("cannot open %s for writing", json_path->c_str());
+    }
+    if (profile_collapsed && !profile_path)
+        ovl_fatal("--profile-collapsed requires --profile-out");
+    if (profile_path && !hostInfo().profileCompiled) {
+        std::fprintf(stderr,
+                     "warn: profiler not compiled in (configure with "
+                     "-DOVL_PROFILE=ON); profile will be empty\n");
     }
 
     Tick sample_interval = 0;
@@ -187,6 +220,10 @@ cmdForkbench(std::vector<std::string> args)
     }
     bool run_cow = !mode_str || *mode_str == "cow" || *mode_str == "both";
     bool run_oow = !mode_str || *mode_str == "oow" || *mode_str == "both";
+    if (json_path && (selected.size() != 1 || (run_cow && run_oow))) {
+        ovl_fatal("--json needs a single benchmark and a single --mode"
+                  " (the file holds one golden-stats dump)");
+    }
 
     ForkBenchCheckpointOptions ckpt;
     if (bool(ckpt_every_str) != bool(ckpt_file))
@@ -201,11 +238,18 @@ cmdForkbench(std::vector<std::string> args)
             ovl_fatal("--checkpoint-every needs a single benchmark and a"
                       " single --mode (a checkpoint file holds one run)");
         }
-        if (stats_path || record_path || sample_path || trace_path) {
+        if (stats_path || record_path || sample_path || trace_path ||
+            json_path) {
             ovl_fatal("--checkpoint-every is incompatible with --stats,"
-                      " --record, --sample-interval and --trace-out");
+                      " --record, --json, --sample-interval and"
+                      " --trace-out");
         }
     }
+
+    // One attribution window per run; labels are "<name>/<mode>".
+    std::vector<std::pair<std::string, prof::Report>> profiles;
+    if (profile_path)
+        prof::enable();
 
     printForkRowHeader();
     for (ForkBenchParams params : selected) {
@@ -238,7 +282,13 @@ cmdForkbench(std::vector<std::string> args)
                 res = runForkBench(params, mode, SystemConfig{},
                                    stats_path ? &stats_os : nullptr,
                                    record_path ? &recorded : nullptr,
-                                   sampler ? &*sampler : nullptr);
+                                   sampler ? &*sampler : nullptr,
+                                   json_path ? &json_os : nullptr);
+            }
+            if (profile_path) {
+                profiles.emplace_back(
+                    params.name + (pass == 0 ? "/cow" : "/oow"),
+                    prof::collect(true));
             }
             if (record_path) {
                 saveTraceFile(*record_path, recorded);
@@ -248,6 +298,31 @@ cmdForkbench(std::vector<std::string> args)
             printForkRow(res);
         }
     }
+    if (profile_path) {
+        prof::disable();
+        std::ofstream pf(*profile_path);
+        if (!pf)
+            ovl_fatal("cannot open %s for writing", profile_path->c_str());
+        pf << "{\n\"_host\": " << hostInfoJson();
+        for (const auto &[label, report] : profiles) {
+            pf << ",\n\"" << label << "\": ";
+            prof::writeJson(pf, report);
+        }
+        pf << "}\n";
+        std::printf("profile written to %s\n", profile_path->c_str());
+        if (profile_collapsed) {
+            std::ofstream cf(*profile_collapsed);
+            if (!cf)
+                ovl_fatal("cannot open %s for writing",
+                          profile_collapsed->c_str());
+            for (const auto &[label, report] : profiles)
+                prof::writeCollapsed(cf, report, label);
+            std::printf("collapsed stacks written to %s\n",
+                        profile_collapsed->c_str());
+        }
+    }
+    if (json_path)
+        std::printf("golden stats written to %s\n", json_path->c_str());
     if (ckpt_file)
         std::printf("checkpoints written to %s every %llu ticks\n",
                     ckpt.path.c_str(),
@@ -482,6 +557,17 @@ cmdTrace(std::vector<std::string> args)
 }
 
 int
+cmdStatsDiff(std::vector<std::string> args)
+{
+    if (args.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: overlaysim stats-diff <a.json> <b.json>\n");
+        return 2;
+    }
+    return statsdiff::runStatsDiff(args[0], args[1], stdout);
+}
+
+int
 cmdConfig()
 {
     SystemConfig cfg;
@@ -529,6 +615,8 @@ main(int argc, char **argv)
         return cmdSpmv(std::move(args));
     if (cmd == "trace")
         return cmdTrace(std::move(args));
+    if (cmd == "stats-diff")
+        return cmdStatsDiff(std::move(args));
     if (cmd == "config")
         return cmdConfig();
     if (cmd == "list-debug-flags")
